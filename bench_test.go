@@ -1,0 +1,318 @@
+package uncertts
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (go test -bench=Fig -benchmem) and adds ablation benches for the design
+// choices called out in DESIGN.md. Benchmarks run the experiment at small
+// scale per iteration; the emitted tables are the deliverable of
+// EXPERIMENTS.md (regenerated at medium/full scale via cmd/uncertbench).
+
+import (
+	"io"
+	"testing"
+
+	"uncertts/internal/core"
+	"uncertts/internal/dust"
+	"uncertts/internal/experiments"
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
+	"uncertts/internal/query"
+	"uncertts/internal/stats"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+	"uncertts/internal/wavelet"
+)
+
+// benchExperiment runs a figure runner once per iteration at small scale.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner, ok := experiments.Registry()[name]
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	cfg := experiments.Config{Scale: experiments.ScaleSmall, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := runner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- One benchmark per evaluation artefact (Section 4 and 5 figures) ----
+
+func BenchmarkChiSquare(b *testing.B) { benchExperiment(b, "chisquare") }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)     { benchExperiment(b, "fig17") }
+
+// ---- Micro-benchmarks of the technique primitives ----
+
+func benchSeriesPair(length int) (uncertain.PDFSeries, uncertain.PDFSeries) {
+	rng := stats.NewRand(7)
+	errDist := stats.NewNormal(0, 0.5)
+	mk := func(id int) uncertain.PDFSeries {
+		obs := make([]float64, length)
+		errs := make([]stats.Dist, length)
+		for i := range obs {
+			obs[i] = rng.NormFloat64()
+			errs[i] = errDist
+		}
+		return uncertain.PDFSeries{Observations: obs, Errors: errs, ID: id}
+	}
+	return mk(0), mk(1)
+}
+
+func BenchmarkEuclideanDistance(b *testing.B) {
+	q, c := benchSeriesPair(290)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Euclidean(q.Observations, c.Observations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTWDistance(b *testing.B) {
+	q, c := benchSeriesPair(290)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTW(q.Observations, c.Observations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDUSTDistanceTable(b *testing.B) {
+	q, c := benchSeriesPair(290)
+	d := dust.New(dust.Options{})
+	if _, err := d.Distance(q, c); err != nil { // build tables outside timing
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Distance(q, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPROUDDistance(b *testing.B) {
+	q, c := benchSeriesPair(290)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proud.Distance(q.Observations, c.Observations, 0.5, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMUNICHProbabilityExact(b *testing.B) {
+	rng := stats.NewRand(3)
+	mk := func(id int) uncertain.SampleSeries {
+		samples := make([][]float64, 6)
+		for i := range samples {
+			row := make([]float64, 5)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			samples[i] = row
+		}
+		return uncertain.SampleSeries{Samples: samples, ID: id}
+	}
+	x, y := mk(0), mk(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := munich.Probability(x, y, 2, munich.Options{Estimator: munich.EstimatorExact}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUEMAFilter(b *testing.B) {
+	q, _ := benchSeriesPair(290)
+	sig := q.Sigmas()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UEMA(q.Observations, sig, 2, 1, WeightModeNormalized); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHaarTransform(b *testing.B) {
+	xs := make([]float64, 512)
+	rng := stats.NewRand(1)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.Transform(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches (design choices called out in DESIGN.md) ----
+
+func ablationWorkload(b *testing.B) *core.Workload {
+	b.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 20, Length: 64, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert, err := uncertain.NewMixedPerturber(uncertain.MixedSigmaSpec{
+		Fraction: 0.2, SigmaHigh: 1.0, SigmaLow: 0.4,
+		Families: []uncertain.ErrorFamily{uncertain.Normal},
+	}, 64, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func reportF1(b *testing.B, w *core.Workload, m core.Matcher, label string) {
+	b.Helper()
+	ms, err := core.Evaluate(w, m, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(query.AverageMetrics(ms).F1, label+"-F1")
+}
+
+// BenchmarkAblationUMAWeights compares the two readings of Eq. 17: strict
+// (divide by 2w+1, per the paper's formula) versus normalized weights.
+func BenchmarkAblationUMAWeights(b *testing.B) {
+	w := ablationWorkload(b)
+	for i := 0; i < b.N; i++ {
+		norm := &core.FilteredMatcher{Kind: core.FilterUMA, W: 2, Mode: timeseries.WeightModeNormalized}
+		strict := &core.FilteredMatcher{Kind: core.FilterUMA, W: 2, Mode: timeseries.WeightModeStrict}
+		reportF1(b, w, norm, "normalized")
+		reportF1(b, w, strict, "strict")
+	}
+}
+
+// BenchmarkAblationUnweightedMA compares UMA/UEMA against their
+// uncertainty-blind MA/EMA counterparts: how much of the win comes from the
+// 1/sigma weights versus plain smoothing.
+func BenchmarkAblationUnweightedMA(b *testing.B) {
+	w := ablationWorkload(b)
+	for i := 0; i < b.N; i++ {
+		reportF1(b, w, core.NewMAMatcher(2), "MA")
+		reportF1(b, w, core.NewUMAMatcher(2), "UMA")
+		reportF1(b, w, core.NewEMAMatcher(2, 1), "EMA")
+		reportF1(b, w, core.NewUEMAMatcher(2, 1), "UEMA")
+	}
+}
+
+// BenchmarkAblationDUSTTable compares DUST with lookup tables against direct
+// integration for every phi evaluation.
+func BenchmarkAblationDUSTTable(b *testing.B) {
+	q, c := benchSeriesPair(64)
+	b.Run("table", func(b *testing.B) {
+		d := dust.New(dust.Options{})
+		if _, err := d.Distance(q, c); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Distance(q, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		d := dust.New(dust.Options{Exact: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Distance(q, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMunichEstimator compares the exact meet-in-the-middle
+// count, the histogram convolution, and Monte Carlo sampling on the same
+// probability query.
+func BenchmarkAblationMunichEstimator(b *testing.B) {
+	rng := stats.NewRand(4)
+	mk := func(id int) uncertain.SampleSeries {
+		samples := make([][]float64, 8)
+		for i := range samples {
+			row := make([]float64, 4)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			samples[i] = row
+		}
+		return uncertain.SampleSeries{Samples: samples, ID: id}
+	}
+	x, y := mk(0), mk(1)
+	for _, est := range []struct {
+		name string
+		opts munich.Options
+	}{
+		{"exact", munich.Options{Estimator: munich.EstimatorExact}},
+		{"convolution", munich.Options{Estimator: munich.EstimatorConvolution}},
+		{"montecarlo", munich.Options{Estimator: munich.EstimatorMonteCarlo, MonteCarloSamples: 5000}},
+	} {
+		b.Run(est.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := munich.Probability(x, y, 3, est.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPROUDWavelet compares PROUD on raw observations against
+// PROUD over a Haar synopsis (Section 4.3 footnote). The tau is calibrated
+// once for the raw variant so both sides operate in their useful regime
+// (PROUD's optimal tau is far below 0.5 — see DefaultTauGrid).
+func BenchmarkAblationPROUDWavelet(b *testing.B) {
+	w := ablationWorkload(b)
+	tau, _, err := core.CalibrateTau(w, func(tau float64) core.Matcher {
+		return core.NewPROUDMatcher(tau)
+	}, []int{0, 1, 2}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := core.NewPROUDMatcher(tau)
+		syn := &core.PROUDMatcher{Tau: tau, UseSynopsis: true, Coeffs: 16}
+		reportF1(b, w, raw, "raw")
+		reportF1(b, w, syn, "wavelet")
+	}
+}

@@ -1,0 +1,101 @@
+// Command uncertbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	uncertbench -exp fig5 -scale medium -seed 42
+//	uncertbench -exp all -scale small
+//	uncertbench -list
+//
+// Each experiment prints one or more tables whose rows mirror the series
+// plotted in the corresponding figure of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uncertts/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (fig4..fig17, chisquare, topk, classify, or 'all')")
+		scale  = flag.String("scale", "small", "workload scale: small, medium or full")
+		seed   = flag.Int64("seed", 42, "random seed; equal seeds reproduce identical tables")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		outDir = flag.String("out", "", "also write each table as a TSV file into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	registry := experiments.Registry()
+	for _, name := range names {
+		runner, ok := registry[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; use -list to see the options", name))
+		}
+		start := time.Now()
+		tables, err := runner(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if *outDir != "" {
+				if err := writeTSV(*outDir, t); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeTSV saves a table as <dir>/<name>.tsv, one header line plus one line
+// per row, tab-separated — directly loadable by gnuplot or pandas.
+func writeTSV(dir string, t experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.Name+".tsv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(f, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uncertbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command uncertgen generates the synthetic UCR stand-in datasets and
+// writes them as CSV (one series per row: id,label,values...).
+//
+// Usage:
+//
+//	uncertgen -dataset CBF -series 100 -length 128 -seed 1 > cbf.csv
+//	uncertgen -list
+//	uncertgen -dataset GunPoint -perturb normal -sigma 0.6   # noisy copy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "CBF", "dataset name (see -list)")
+		series  = flag.Int("series", 0, "number of series (0 = the dataset's full cardinality)")
+		length  = flag.Int("length", 0, "series length (0 = the dataset's native length)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		list    = flag.Bool("list", false, "list dataset names and exit")
+		perturb = flag.String("perturb", "", "optionally perturb with this error family: normal, uniform or exponential")
+		sigma   = flag.Float64("sigma", 0.6, "error standard deviation when -perturb is set")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, spec := range ucr.Specs() {
+			fmt.Printf("%-18s classes=%-3d series=%-5d length=%d\n",
+				spec.Name, spec.Classes, spec.Series, spec.Length)
+		}
+		return
+	}
+
+	ds, err := ucr.Generate(*name, ucr.Options{MaxSeries: *series, Length: *length, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *perturb != "" {
+		family, err := parseFamily(*perturb)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := uncertain.NewConstantPerturber(family, *sigma, ds.Series[0].Len(), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range ds.Series {
+			ps := p.PerturbPDF(ds.Series[i])
+			copy(ds.Series[i].Values, ps.Observations)
+		}
+	}
+
+	if err := timeseries.WriteCSV(os.Stdout, ds); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFamily(s string) (uncertain.ErrorFamily, error) {
+	for _, f := range uncertain.AllErrorFamilies() {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown error family %q (want normal, uniform or exponential)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uncertgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command uncertquery runs one uncertain similarity query end to end: load
+// (or generate) a dataset, perturb it, pick a query series, and answer the
+// similarity-matching task with the chosen technique, reporting the matches
+// and their agreement with the clean-data ground truth.
+//
+// Usage:
+//
+//	uncertquery -dataset CBF -series 40 -technique uema -sigma 0.8 -query 3
+//	uncertquery -csv data.csv -technique dust -sigma 0.5 -query 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uncertts/internal/core"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "CBF", "synthetic dataset to generate (ignored with -csv)")
+		csvPath   = flag.String("csv", "", "load the dataset from this CSV file instead of generating")
+		series    = flag.Int("series", 40, "number of series when generating")
+		length    = flag.Int("length", 96, "series length when generating")
+		seed      = flag.Int64("seed", 1, "seed for generation and perturbation")
+		technique = flag.String("technique", "uema", "euclidean, proud, dust, munich, uma or uema")
+		sigma     = flag.Float64("sigma", 0.6, "error standard deviation (normal error)")
+		queryIdx  = flag.Int("query", 0, "query series index")
+		k         = flag.Int("k", 10, "ground-truth neighbourhood size")
+		tau       = flag.Float64("tau", 0, "probability threshold for proud/munich (0 = calibrate)")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*csvPath, *name, *series, *length, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	n := ds.Series[0].Len()
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, *sigma, n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	samplesPerTS := 0
+	if *technique == "munich" {
+		samplesPerTS = 5
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: *k, SamplesPerTS: samplesPerTS})
+	if err != nil {
+		fatal(err)
+	}
+	if *queryIdx < 0 || *queryIdx >= w.Len() {
+		fatal(fmt.Errorf("query index %d outside [0, %d)", *queryIdx, w.Len()))
+	}
+
+	m, err := buildMatcher(w, *technique, *tau)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Prepare(w); err != nil {
+		fatal(err)
+	}
+	got, err := m.Match(*queryIdx)
+	if err != nil {
+		fatal(err)
+	}
+	metrics, err := core.EvaluateQuery(w, m, *queryIdx)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset    : %s (%d series x %d points)\n", ds.Name, w.Len(), n)
+	fmt.Printf("technique  : %s\n", m.Name())
+	fmt.Printf("perturbation: normal error, sigma=%.2f\n", *sigma)
+	fmt.Printf("query      : series %d (label %d)\n", *queryIdx, w.Exact[*queryIdx].Label)
+	fmt.Printf("matches    : %v\n", got)
+	fmt.Printf("ground truth: %v\n", w.Truth(*queryIdx))
+	fmt.Printf("precision=%.3f recall=%.3f F1=%.3f\n", metrics.Precision, metrics.Recall, metrics.F1)
+}
+
+func loadDataset(csvPath, name string, series, length int, seed int64) (timeseries.Dataset, error) {
+	if csvPath == "" {
+		return ucr.Generate(name, ucr.Options{MaxSeries: series, Length: length, Seed: seed})
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return timeseries.Dataset{}, err
+	}
+	defer f.Close()
+	return timeseries.ReadCSV(f, csvPath)
+}
+
+func buildMatcher(w *core.Workload, technique string, tau float64) (core.Matcher, error) {
+	calibrated := func(factory func(tau float64) core.Matcher) (core.Matcher, error) {
+		if tau > 0 {
+			return factory(tau), nil
+		}
+		best, _, err := core.CalibrateTau(w, factory, []int{0, 1, 2}, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "calibrated tau = %g\n", best)
+		return factory(best), nil
+	}
+	switch strings.ToLower(technique) {
+	case "euclidean":
+		return core.NewEuclideanMatcher(), nil
+	case "dust":
+		return core.NewDUSTMatcher(), nil
+	case "uma":
+		return core.NewUMAMatcher(2), nil
+	case "uema":
+		return core.NewUEMAMatcher(2, 1), nil
+	case "proud":
+		return calibrated(func(tau float64) core.Matcher { return core.NewPROUDMatcher(tau) })
+	case "munich":
+		return calibrated(func(tau float64) core.Matcher { return core.NewMUNICHMatcher(tau) })
+	default:
+		return nil, fmt.Errorf("unknown technique %q", technique)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uncertquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Sensornet simulates the paper's manufacturing-plant motivation: a bank of
+// vibration sensors with heterogeneous, per-sensor noise levels, where the
+// task is to find machines whose vibration signature matches a known
+// failure precursor.
+//
+// The example shows the DUST advantage the paper isolates in Figure 8: when
+// the noise level genuinely varies across measurements and the per-
+// measurement sigmas are KNOWN, DUST (and the sigma-weighted UMA/UEMA
+// filters) beat both plain Euclidean and PROUD, which can only use one
+// global sigma.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"uncertts"
+)
+
+const (
+	nMachines = 48
+	length    = 120
+	seed      = 7
+)
+
+func main() {
+	// Ground truth: every machine's clean vibration signature. Class 0
+	// machines carry the failure-precursor pattern; other classes are
+	// healthy regimes. (Trace is the synthetic stand-in with transient
+	// patterns.)
+	ds, err := uncertts.GenerateDataset("Trace", uncertts.DatasetOptions{
+		MaxSeries: nMachines, Length: length, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The sensor bank: 20% of the sampling instants come from the cheap
+	// high-noise sensors (sigma 1.0), the rest from calibrated ones
+	// (sigma 0.4) — the paper's exact mixed-error setting.
+	pert, err := uncertts.NewMixedPerturber(uncertts.MixedSigmaSpec{
+		Fraction:  0.2,
+		SigmaHigh: 1.0,
+		SigmaLow:  0.4,
+		Families:  []uncertts.ErrorFamily{uncertts.Normal},
+	}, length, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := uncertts.NewWorkload(ds, pert, uncertts.WorkloadConfig{K: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Machines:", nMachines, "| signature length:", length)
+	fmt.Println("Noise: 20% of instants at sigma=1.0, 80% at sigma=0.4 (known per instant)")
+	fmt.Println()
+
+	type row struct {
+		name string
+		f1   float64
+	}
+	var rows []row
+	for _, m := range []uncertts.Matcher{
+		uncertts.NewEuclideanMatcher(), // ignores the sigmas entirely
+		uncertts.NewDUSTMatcher(),      // uses the per-instant sigmas
+		uncertts.NewUMAMatcher(2),      // weights samples by 1/sigma
+		uncertts.NewUEMAMatcher(2, 1),  // ... with exponential decay
+	} {
+		ms, err := uncertts.Evaluate(w, m, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{m.Name(), uncertts.AverageMetrics(ms).F1})
+	}
+
+	fmt.Println("Retrieving each machine's true nearest signatures from noisy data:")
+	best := rows[0]
+	for _, r := range rows {
+		fmt.Printf("  %-16s F1 = %.3f\n", r.name, r.f1)
+		if r.f1 > best.f1 {
+			best = r
+		}
+	}
+	fmt.Printf("\nWinner: %s (+%.1f%% F1 over plain Euclidean)\n",
+		best.name, 100*(best.f1-rows[0].f1)/math.Max(rows[0].f1, 1e-9))
+	fmt.Println("Lesson: when per-measurement noise levels are known, weighting")
+	fmt.Println("by 1/sigma and smoothing over neighbouring instants recovers")
+	fmt.Println("signatures that raw point-wise comparison loses.")
+}

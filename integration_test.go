@@ -1,0 +1,200 @@
+package uncertts
+
+// Cross-module integration tests: the full pipeline — synthetic dataset,
+// perturbation, workload construction, every matcher — exercised as a
+// matrix over error families and uncertainty levels, plus end-to-end
+// invariants that individual package tests cannot see.
+
+import (
+	"fmt"
+	"testing"
+
+	"uncertts/internal/core"
+	"uncertts/internal/query"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+// matrixWorkload builds one workload per (family, sigma) cell.
+func matrixWorkload(t *testing.T, family uncertain.ErrorFamily, sigma float64) *core.Workload {
+	t.Helper()
+	ds, err := ucr.Generate("syntheticControl", ucr.Options{MaxSeries: 18, Length: 36, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := uncertain.NewConstantPerturber(family, sigma, 36, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, p, core.WorkloadConfig{K: 4, SamplesPerTS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestAllMatchersAllFamilies runs every technique on every error family and
+// checks basic sanity: no errors, F1 in range, and (at tiny sigma) strong
+// agreement with the ground truth for the distance techniques.
+func TestAllMatchersAllFamilies(t *testing.T) {
+	matchers := func() map[string]core.Matcher {
+		return map[string]core.Matcher{
+			"euclidean":      core.NewEuclideanMatcher(),
+			"dtw":            core.NewDTWMatcher(),
+			"dust":           core.NewDUSTMatcher(),
+			"dust-dtw":       core.NewDUSTDTWMatcher(),
+			"dust-empirical": core.NewDUSTEmpiricalMatcher(),
+			"uma":            core.NewUMAMatcher(2),
+			"uema":           core.NewUEMAMatcher(2, 1),
+			"ma":             core.NewMAMatcher(2),
+			"ema":            core.NewEMAMatcher(2, 1),
+			"proud":          core.NewPROUDMatcher(0.05),
+			"munich":         core.NewMUNICHMatcher(0.5),
+		}
+	}
+	for _, family := range uncertain.AllErrorFamilies() {
+		for _, sigma := range []float64{0.2, 1.0} {
+			w := matrixWorkload(t, family, sigma)
+			for name, m := range matchers() {
+				t.Run(fmt.Sprintf("%s/%s/sigma=%.1f", name, family, sigma), func(t *testing.T) {
+					ms, err := core.Evaluate(w, m, []int{0, 1, 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					avg := query.AverageMetrics(ms)
+					if avg.F1 < 0 || avg.F1 > 1 {
+						t.Fatalf("F1 out of range: %v", avg.F1)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLowNoiseConvergence: as sigma approaches zero, the distance-based
+// techniques converge to the exact ground truth.
+func TestLowNoiseConvergence(t *testing.T) {
+	w := matrixWorkload(t, uncertain.Normal, 1e-6)
+	for _, m := range []core.Matcher{
+		core.NewEuclideanMatcher(),
+		core.NewUMAMatcher(0), // w=0: no smoothing to distort the exact data
+	} {
+		ms, err := core.Evaluate(w, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 := query.AverageMetrics(ms).F1; f1 < 0.99 {
+			t.Errorf("%s at sigma=1e-6: F1 = %v, want ~1", m.Name(), f1)
+		}
+	}
+}
+
+// TestDUSTRankingMatchesEuclideanForNormalErrors verifies the paper's
+// Section 2.3 equivalence end to end: with constant normal errors DUST is a
+// monotone transform of Euclidean, so the two techniques must produce
+// identical candidate *rankings* on a real workload. The equivalence is
+// exact only with the uniform-error tail workaround disabled: the tail
+// mixture makes dust^2 deliberately non-quadratic in the gap, which can
+// reorder sums across timestamps.
+func TestDUSTRankingMatchesEuclideanForNormalErrors(t *testing.T) {
+	w := matrixWorkload(t, uncertain.Normal, 0.5)
+	eu := core.NewEuclideanMatcher()
+	du := core.NewDUSTMatcher()
+	du.Opts.TailWeight = -1 // pure normal phi: dust = gap / (2 sigma)
+	if err := eu.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := du.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 3; qi++ {
+		euTop, err := query.TopK(w.Len(), qi, func(ci int) (float64, error) { return eu.Distance(qi, ci) }, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		duTop, err := query.TopK(w.Len(), qi, func(ci int) (float64, error) { return du.Distance(qi, ci) }, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range euTop {
+			if euTop[i].ID != duTop[i].ID {
+				t.Fatalf("query %d: rank %d differs: euclidean %d vs dust %d",
+					qi, i, euTop[i].ID, duTop[i].ID)
+			}
+		}
+	}
+}
+
+// TestWorkloadSeedIsolation: the same dataset perturbed with different
+// seeds must give different observations but identical ground truth (the
+// truth lives in the exact space).
+func TestWorkloadSeedIsolation(t *testing.T) {
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 12, Length: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(seed int64) *core.Workload {
+		p, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.5, 24, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := core.NewWorkload(ds, p, core.WorkloadConfig{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := build(1), build(2)
+	sameObs := true
+	for i := range a.PDF {
+		for j := range a.PDF[i].Observations {
+			if a.PDF[i].Observations[j] != b.PDF[i].Observations[j] {
+				sameObs = false
+			}
+		}
+	}
+	if sameObs {
+		t.Error("different perturbation seeds gave identical observations")
+	}
+	for qi := 0; qi < a.Len(); qi++ {
+		ta, tb := a.Truth(qi), b.Truth(qi)
+		if len(ta) != len(tb) {
+			t.Fatalf("query %d: truth sizes differ: %d vs %d", qi, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("query %d: ground truth depends on the perturbation seed", qi)
+			}
+		}
+	}
+}
+
+// TestPublicVsInternalAgreement: the public facade and the internal
+// packages must produce identical results for the same workload.
+func TestPublicVsInternalAgreement(t *testing.T) {
+	ds, err := GenerateDataset("Trace", DatasetOptions{MaxSeries: 12, Length: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := NewConstantPerturber(Normal, 0.5, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, pert, WorkloadConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPublic, err := Evaluate(w, NewUEMAMatcher(2, 1), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaInternal, err := core.Evaluate(w, core.NewUEMAMatcher(2, 1), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaPublic {
+		if viaPublic[i] != viaInternal[i] {
+			t.Fatal("public facade diverged from the internal implementation")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"uncertts/internal/query"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func TestMunichProbCacheConsistency(t *testing.T) {
+	ds, _ := ucr.Generate("GunPoint", ucr.Options{MaxSeries: 12, Length: 6, Seed: 15})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.4, 6, 2)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3, SamplesPerTS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 1, 2}
+
+	// Cached and uncached matchers must produce identical answers.
+	cache := NewMunichProbCache()
+	cached, err := Evaluate(w, &MUNICHMatcher{Tau: 0.5, Cache: cache}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Evaluate(w, &MUNICHMatcher{Tau: 0.5}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(cached).F1 != query.AverageMetrics(plain).F1 {
+		t.Errorf("cached F1 %v != uncached %v",
+			query.AverageMetrics(cached).F1, query.AverageMetrics(plain).F1)
+	}
+	if cache.Len() == 0 {
+		t.Error("cache was never populated")
+	}
+
+	// A second tau over the same cache must not change the probabilities:
+	// rerunning with tau so small everything passes should match the
+	// number of candidates exactly.
+	filled := cache.Len()
+	all, err := Evaluate(w, &MUNICHMatcher{Tau: 1e-12, Cache: cache}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != filled {
+		t.Errorf("second sweep grew the cache: %d -> %d", filled, cache.Len())
+	}
+	for i, m := range all {
+		// tau ~ 0 accepts everything with probability > 0; recall must be
+		// at least that of tau = 0.5.
+		if m.Recall < cached[i].Recall {
+			t.Errorf("query %d: recall decreased when tau shrank: %v < %v",
+				queries[i], m.Recall, cached[i].Recall)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uncertts/internal/query"
+	"uncertts/internal/stats"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+// testWorkload builds a small CBF-based workload with normal errors.
+func testWorkload(t *testing.T, sigma float64, samplesPerTS int) *Workload {
+	t.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 30, Length: 48, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := uncertain.NewConstantPerturber(uncertain.Normal, sigma, 48, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 5, SamplesPerTS: samplesPerTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorkloadGroundTruth(t *testing.T) {
+	w := testWorkload(t, 0.3, 0)
+	if w.Len() != 30 || w.SeriesLen() != 48 {
+		t.Fatalf("workload shape %d x %d", w.Len(), w.SeriesLen())
+	}
+	for qi := 0; qi < w.Len(); qi++ {
+		truth := w.Truth(qi)
+		if len(truth) < w.K {
+			t.Errorf("query %d: truth has %d entries, want >= %d", qi, len(truth), w.K)
+		}
+		for _, id := range truth {
+			if id == qi {
+				t.Errorf("query %d: truth contains the query itself", qi)
+			}
+		}
+		if w.EpsEucl(qi) <= 0 {
+			t.Errorf("query %d: eps = %v", qi, w.EpsEucl(qi))
+		}
+		cal := w.CalibrationNeighbor(qi)
+		if cal < 0 || cal == qi {
+			t.Errorf("query %d: calibration neighbour %d", qi, cal)
+		}
+		// The calibration neighbour must be in the truth set (it defines
+		// the threshold).
+		found := false
+		for _, id := range truth {
+			if id == cal {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("query %d: calibration neighbour %d not in truth %v", qi, cal, truth)
+		}
+	}
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 1, 10, 1)
+	if _, err := NewWorkload(timeseries.Dataset{}, p, WorkloadConfig{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	tiny := timeseries.Dataset{Series: []timeseries.Series{timeseries.New([]float64{1, 2})}}
+	if _, err := NewWorkload(tiny, p, WorkloadConfig{K: 5}); err == nil {
+		t.Error("K >= len should error")
+	}
+	ragged := timeseries.Dataset{Series: []timeseries.Series{
+		timeseries.New([]float64{1, 2}),
+		timeseries.New([]float64{1, 2, 3}),
+	}}
+	if _, err := NewWorkload(ragged, p, WorkloadConfig{K: 1}); err == nil {
+		t.Error("ragged lengths should error")
+	}
+}
+
+func TestWorkloadReportedSigmaDerived(t *testing.T) {
+	w := testWorkload(t, 0.7, 0)
+	if math.Abs(w.ReportedSigma-0.7) > 1e-9 {
+		t.Errorf("derived sigma = %v, want 0.7", w.ReportedSigma)
+	}
+	for _, s := range w.Sigmas {
+		if math.Abs(s-0.7) > 1e-9 {
+			t.Errorf("per-timestamp sigma = %v", s)
+		}
+	}
+}
+
+func TestWorkloadMisreportedErrors(t *testing.T) {
+	ds, _ := ucr.Generate("CBF", ucr.Options{MaxSeries: 12, Length: 32, Seed: 3})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 1.0, 32, 9)
+	wrong := uncertain.MisreportSigma(uncertain.Normal, 0.5, 32)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3, ReportedErrors: wrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.ReportedSigma-0.5) > 1e-9 {
+		t.Errorf("reported sigma = %v, want the misreported 0.5", w.ReportedSigma)
+	}
+	// The PDF series must carry the misreported distributions.
+	if math.Abs(w.PDF[0].Sigma(0)-0.5) > 1e-9 {
+		t.Errorf("PDF series sigma = %v, want 0.5", w.PDF[0].Sigma(0))
+	}
+}
+
+func TestEuclideanMatcherPerfectWithoutNoise(t *testing.T) {
+	// With negligible perturbation, the Euclidean matcher must reproduce
+	// the ground truth almost exactly.
+	w := testWorkload(t, 1e-9, 0)
+	ms, err := Evaluate(w, NewEuclideanMatcher(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := query.AverageMetrics(ms)
+	if avg.F1 < 0.999 {
+		t.Errorf("noise-free Euclidean F1 = %v, want ~1", avg.F1)
+	}
+}
+
+func TestMatchersDegradeWithNoise(t *testing.T) {
+	lowNoise := testWorkload(t, 0.2, 0)
+	highNoise := testWorkload(t, 2.0, 0)
+	for _, mk := range []func() Matcher{
+		func() Matcher { return NewEuclideanMatcher() },
+		func() Matcher { return NewDUSTMatcher() },
+		func() Matcher { return NewUMAMatcher(2) },
+		func() Matcher { return NewUEMAMatcher(2, 1) },
+	} {
+		lowMs, err := Evaluate(lowNoise, mk(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		highMs, err := Evaluate(highNoise, mk(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := query.AverageMetrics(lowMs).F1
+		hi := query.AverageMetrics(highMs).F1
+		if hi >= lo {
+			t.Errorf("%s: F1 should degrade with noise: sigma=0.2 gives %v, sigma=2 gives %v",
+				mk().Name(), lo, hi)
+		}
+	}
+}
+
+func TestUMABeatsEuclideanUnderNoise(t *testing.T) {
+	// The paper's headline: the moving-average measures beat raw Euclidean
+	// under meaningful noise because they exploit temporal correlation.
+	w := testWorkload(t, 1.0, 0)
+	eu, err := Evaluate(w, NewEuclideanMatcher(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uma, err := Evaluate(w, NewUMAMatcher(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uema, err := Evaluate(w, NewUEMAMatcher(2, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euF1 := query.AverageMetrics(eu).F1
+	umaF1 := query.AverageMetrics(uma).F1
+	uemaF1 := query.AverageMetrics(uema).F1
+	if umaF1 <= euF1 {
+		t.Errorf("UMA (%v) should beat Euclidean (%v) at sigma=1", umaF1, euF1)
+	}
+	if uemaF1 <= euF1 {
+		t.Errorf("UEMA (%v) should beat Euclidean (%v) at sigma=1", uemaF1, euF1)
+	}
+}
+
+func TestPROUDMatcher(t *testing.T) {
+	w := testWorkload(t, 0.4, 0)
+	// PROUD needs its tau calibrated (the paper uses "the optimal
+	// probabilistic threshold tau determined after repeated experiments").
+	tau, _, err := CalibrateTau(w, func(tau float64) Matcher {
+		return NewPROUDMatcher(tau)
+	}, []int{0, 1, 2, 3, 4, 5, 6, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Evaluate(w, NewPROUDMatcher(tau), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := query.AverageMetrics(ms).F1
+	if f1 < 0.3 {
+		t.Errorf("PROUD F1 = %v at calibrated tau=%v, unreasonably low at sigma=0.4", f1, tau)
+	}
+	bad := NewPROUDMatcher(0)
+	if err := bad.Prepare(w); err == nil {
+		t.Error("tau=0 should be rejected")
+	}
+	if _, err := NewPROUDMatcher(0.5).Match(0); err == nil {
+		t.Error("unprepared matcher should error")
+	}
+}
+
+func TestPROUDSynopsisVariant(t *testing.T) {
+	w := testWorkload(t, 0.4, 0)
+	m := &PROUDMatcher{Tau: 0.5, UseSynopsis: true, Coeffs: 16}
+	ms, err := Evaluate(w, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 < 0.2 {
+		t.Errorf("PROUD-wavelet F1 = %v, too low", query.AverageMetrics(ms).F1)
+	}
+	if m.Name() == "" {
+		t.Error("name should not be empty")
+	}
+}
+
+func TestMUNICHMatcher(t *testing.T) {
+	ds, _ := ucr.Generate("GunPoint", ucr.Options{MaxSeries: 15, Length: 6, Seed: 5})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.3, 6, 4)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3, SamplesPerTS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Evaluate(w, NewMUNICHMatcher(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 <= 0 {
+		t.Error("MUNICH should produce non-zero F1 on an easy workload")
+	}
+	// Requires the sample model.
+	noSamples := testWorkload(t, 0.3, 0)
+	if err := NewMUNICHMatcher(0.5).Prepare(noSamples); err == nil {
+		t.Error("missing sample model should be rejected")
+	}
+	if err := NewMUNICHMatcher(0).Prepare(w); err == nil {
+		t.Error("tau=0 should be rejected")
+	}
+	if _, err := NewMUNICHMatcher(0.5).Match(0); err == nil {
+		t.Error("unprepared matcher should error")
+	}
+}
+
+func TestFilteredMatcherKinds(t *testing.T) {
+	w := testWorkload(t, 0.5, 0)
+	for _, m := range []*FilteredMatcher{
+		NewMAMatcher(2),
+		NewEMAMatcher(2, 0.5),
+		NewUMAMatcher(2),
+		NewUEMAMatcher(2, 0.5),
+	} {
+		ms, err := Evaluate(w, m, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if query.AverageMetrics(ms).F1 <= 0 {
+			t.Errorf("%s: zero F1", m.Name())
+		}
+	}
+	bad := &FilteredMatcher{Kind: FilterKind(99)}
+	if err := bad.Prepare(w); err == nil {
+		t.Error("unknown filter kind should error at Prepare")
+	}
+}
+
+func TestFilterKindString(t *testing.T) {
+	want := map[FilterKind]string{
+		FilterMA: "MA", FilterEMA: "EMA", FilterUMA: "UMA", FilterUEMA: "UEMA",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if FilterKind(12).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestEvaluateQuerySubset(t *testing.T) {
+	w := testWorkload(t, 0.3, 0)
+	ms, err := Evaluate(w, NewEuclideanMatcher(), []int{0, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Errorf("want 3 metric rows, got %d", len(ms))
+	}
+	if _, err := Evaluate(w, NewEuclideanMatcher(), []int{99}); err == nil {
+		t.Error("out-of-range query index should error")
+	}
+}
+
+func TestCalibrateTau(t *testing.T) {
+	w := testWorkload(t, 0.5, 0)
+	tau, f1, err := CalibrateTau(w, func(tau float64) Matcher {
+		return NewPROUDMatcher(tau)
+	}, []int{0, 1, 2, 3, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || tau >= 1 {
+		t.Errorf("calibrated tau = %v", tau)
+	}
+	if f1 < 0 || f1 > 1 {
+		t.Errorf("calibrated F1 = %v", f1)
+	}
+	// Custom grid must be honoured.
+	tau2, _, err := CalibrateTau(w, func(tau float64) Matcher {
+		return NewPROUDMatcher(tau)
+	}, []int{0, 1}, []float64{0.42})
+	if err != nil || tau2 != 0.42 {
+		t.Errorf("single-point grid: tau=%v err=%v", tau2, err)
+	}
+}
+
+func TestDUSTMatcherMixedErrors(t *testing.T) {
+	// DUST must run with per-timestamp mixed error distributions (its
+	// distinguishing capability).
+	ds, _ := ucr.Generate("CBF", ucr.Options{MaxSeries: 14, Length: 32, Seed: 21})
+	spec := uncertain.MixedSigmaSpec{
+		Fraction:  0.2,
+		SigmaHigh: 1.0,
+		SigmaLow:  0.4,
+		Families:  []uncertain.ErrorFamily{uncertain.Normal},
+	}
+	p, err := uncertain.NewMixedPerturber(spec, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Evaluate(w, NewDUSTMatcher(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 <= 0 {
+		t.Error("DUST with mixed errors produced zero F1")
+	}
+	// Reported sigma should be the root mean variance of the mixture.
+	wantVar := 0.2*1.0 + 0.8*0.16
+	if math.Abs(w.ReportedSigma-math.Sqrt(wantVar)) > 0.02 {
+		t.Errorf("reported sigma %v, want about %v", w.ReportedSigma, math.Sqrt(wantVar))
+	}
+	_ = stats.Dist(nil) // keep the import for clarity of intent
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/dust"
+	"uncertts/internal/munich"
+)
+
+// Section 3.2 of the paper notes that "MUNICH and DUST can be employed to
+// compute the Dynamic Time Warping distance". The matchers below put those
+// DTW variants on the common similarity-matching task, alongside a plain
+// Euclidean-observations DTW baseline.
+
+// DTWMatcher is the DTW analogue of the Euclidean baseline: DTW over the
+// perturbed observations, threshold calibrated in DTW space.
+type DTWMatcher struct {
+	distanceMatcher
+	// Band is the Sakoe-Chiba half-width; negative means unconstrained.
+	Band int
+}
+
+// NewDTWMatcher returns an unconstrained DTW baseline matcher.
+func NewDTWMatcher() *DTWMatcher { return &DTWMatcher{Band: -1} }
+
+// Prepare binds the workload.
+func (m *DTWMatcher) Prepare(w *Workload) error {
+	m.w = w
+	if m.Band < 0 {
+		m.name = "DTW"
+	} else {
+		m.name = fmt.Sprintf("DTW(band=%d)", m.Band)
+	}
+	m.dist = func(qi, ci int) (float64, error) {
+		return distance.DTWBand(w.PDF[qi].Observations, w.PDF[ci].Observations, m.Band)
+	}
+	return nil
+}
+
+// DUSTDTWMatcher combines per-timestamp dust values under dynamic time
+// warping (Section 3.2's DUST+DTW combination).
+type DUSTDTWMatcher struct {
+	distanceMatcher
+	// Opts configures the dust evaluator.
+	Opts dust.Options
+	d    *dust.Dust
+}
+
+// NewDUSTDTWMatcher returns a DUST-under-DTW matcher with default options.
+func NewDUSTDTWMatcher() *DUSTDTWMatcher { return &DUSTDTWMatcher{} }
+
+// Prepare builds the evaluator and binds the workload.
+func (m *DUSTDTWMatcher) Prepare(w *Workload) error {
+	m.w = w
+	m.name = "DUST-DTW"
+	m.d = dust.New(m.Opts)
+	m.dist = func(qi, ci int) (float64, error) {
+		return m.d.DistanceDTW(w.PDF[qi], w.PDF[ci])
+	}
+	return nil
+}
+
+// MUNICHDTWMatcher answers probabilistic range queries with the DTW inner
+// distance, estimated by Monte Carlo over materialisations (the counting
+// estimators require the per-timestamp decomposition that DTW breaks).
+type MUNICHDTWMatcher struct {
+	// Tau is the probability threshold.
+	Tau float64
+	// Samples is the Monte Carlo sample count (0 = estimator default).
+	Samples int
+	// Cache optionally shares pair probabilities (same rules as
+	// MUNICHMatcher.Cache).
+	Cache *MunichProbCache
+
+	w *Workload
+}
+
+// NewMUNICHDTWMatcher returns the MUNICH+DTW matcher.
+func NewMUNICHDTWMatcher(tau float64) *MUNICHDTWMatcher { return &MUNICHDTWMatcher{Tau: tau} }
+
+// Name identifies the technique.
+func (m *MUNICHDTWMatcher) Name() string { return fmt.Sprintf("MUNICH-DTW(tau=%g)", m.Tau) }
+
+// Prepare binds the workload and checks the sample model exists.
+func (m *MUNICHDTWMatcher) Prepare(w *Workload) error {
+	if m.Tau <= 0 || m.Tau > 1 {
+		return fmt.Errorf("core: MUNICH-DTW tau %v outside (0, 1]", m.Tau)
+	}
+	if w.Samples == nil {
+		return fmt.Errorf("core: MUNICH-DTW requires a workload with SamplesPerTS > 0")
+	}
+	m.w = w
+	return nil
+}
+
+// Match answers the probabilistic range query for query index qi.
+func (m *MUNICHDTWMatcher) Match(qi int) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotPrepared
+	}
+	eps := m.w.EpsEucl(qi)
+	opts := munich.Options{
+		Estimator:         munich.EstimatorMonteCarlo,
+		UseDTW:            true,
+		MonteCarloSamples: m.Samples,
+	}
+	var out []int
+	for ci := range m.w.Samples {
+		if ci == qi {
+			continue
+		}
+		var p float64
+		if m.Cache != nil {
+			if cached, ok := m.Cache.get(qi, ci); ok {
+				p = cached
+				if p >= m.Tau {
+					out = append(out, ci)
+				}
+				continue
+			}
+		}
+		p, err := munich.Probability(m.w.Samples[qi], m.w.Samples[ci], eps, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: MUNICH-DTW candidate %d: %w", ci, err)
+		}
+		if m.Cache != nil {
+			m.Cache.put(qi, ci, p)
+		}
+		if p >= m.Tau {
+			out = append(out, ci)
+		}
+	}
+	return out, nil
+}

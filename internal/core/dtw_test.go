@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"uncertts/internal/query"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func TestDTWMatcherBasics(t *testing.T) {
+	w := testWorkload(t, 0.3, 0)
+	m := NewDTWMatcher()
+	ms, err := Evaluate(w, m, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 <= 0 {
+		t.Error("DTW matcher produced zero F1 on an easy workload")
+	}
+	if m.Name() != "DTW" {
+		t.Errorf("name = %q", m.Name())
+	}
+	banded := &DTWMatcher{Band: 3}
+	msB, err := Evaluate(w, banded, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banded.Name() != "DTW(band=3)" {
+		t.Errorf("banded name = %q", banded.Name())
+	}
+	_ = msB
+}
+
+func TestDUSTDTWMatcher(t *testing.T) {
+	ds, _ := ucr.Generate("CBF", ucr.Options{MaxSeries: 14, Length: 32, Seed: 6})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.4, 32, 3)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDUSTDTWMatcher()
+	ms, err := Evaluate(w, m, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 <= 0 {
+		t.Error("DUST-DTW produced zero F1")
+	}
+	// Its pairwise distance must be no larger than lock-step DUST (DTW can
+	// only improve an alignment).
+	lock := NewDUSTMatcher()
+	if err := lock.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	dLock, err := lock.Distance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dWarp, err := m.Distance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dWarp > dLock+1e-9 {
+		t.Errorf("DUST-DTW (%v) exceeded lock-step DUST (%v)", dWarp, dLock)
+	}
+}
+
+func TestMUNICHDTWMatcher(t *testing.T) {
+	ds, _ := ucr.Generate("GunPoint", ucr.Options{MaxSeries: 10, Length: 6, Seed: 4})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.3, 6, 2)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 3, SamplesPerTS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMUNICHDTWMatcher(0.5)
+	m.Samples = 2000
+	ms, err := Evaluate(w, m, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 < 0 {
+		t.Error("MUNICH-DTW failed")
+	}
+	// Cache path: same results, fewer recomputations.
+	cache := NewMunichProbCache()
+	cachedM := &MUNICHDTWMatcher{Tau: 0.5, Samples: 2000, Cache: cache}
+	ms2, err := Evaluate(w, cachedM, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.AverageMetrics(ms).F1 != query.AverageMetrics(ms2).F1 {
+		t.Error("cached MUNICH-DTW diverged")
+	}
+	if cache.Len() == 0 {
+		t.Error("cache unused")
+	}
+	ms3, err := Evaluate(w, &MUNICHDTWMatcher{Tau: 0.9, Samples: 2000, Cache: cache}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stricter tau cannot increase recall.
+	for i := range ms2 {
+		if ms3[i].Recall > ms2[i].Recall {
+			t.Error("recall grew with stricter tau")
+		}
+	}
+	// Validation paths.
+	if err := NewMUNICHDTWMatcher(0).Prepare(w); err == nil {
+		t.Error("tau=0 should be rejected")
+	}
+	noSamples := testWorkload(t, 0.3, 0)
+	if err := NewMUNICHDTWMatcher(0.5).Prepare(noSamples); err == nil {
+		t.Error("missing sample model should be rejected")
+	}
+	if _, err := NewMUNICHDTWMatcher(0.5).Match(0); err == nil {
+		t.Error("unprepared matcher should error")
+	}
+}

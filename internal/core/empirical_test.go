@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uncertts/internal/query"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func TestDUSTEmpiricalMatcher(t *testing.T) {
+	ds, _ := ucr.Generate("CBF", ucr.Options{MaxSeries: 18, Length: 32, Seed: 12})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.5, 32, 8)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 4, SamplesPerTS: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDUSTEmpiricalMatcher()
+	ms, err := Evaluate(w, m, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := query.AverageMetrics(ms).F1
+	if f1 <= 0.2 {
+		t.Errorf("DUST-empirical F1 = %v, too low", f1)
+	}
+
+	// The estimated error distribution must be close to the truth. The
+	// residuals are taken around per-timestamp sample means, which shrinks
+	// the spread by sqrt(1 - 1/s) for s samples; with s=6 that is ~0.91.
+	est := m.EstimatedError()
+	if est == nil {
+		t.Fatal("no estimated error after Prepare")
+	}
+	wantSD := 0.5 * math.Sqrt(1-1.0/6)
+	if got := math.Sqrt(est.Variance()); math.Abs(got-wantSD) > 0.08 {
+		t.Errorf("estimated error stddev = %v, want about %v", got, wantSD)
+	}
+	if math.Abs(est.Mean()) > 0.05 {
+		t.Errorf("estimated error mean = %v, want about 0", est.Mean())
+	}
+}
+
+func TestDUSTEmpiricalTracksKnowledgeableDUST(t *testing.T) {
+	// With plenty of samples, estimated-error DUST should perform in the
+	// same band as DUST given the true distribution.
+	ds, _ := ucr.Generate("Trace", ucr.Options{MaxSeries: 16, Length: 40, Seed: 9})
+	p, _ := uncertain.NewConstantPerturber(uncertain.Normal, 0.6, 40, 5)
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 4, SamplesPerTS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	knowing, err := Evaluate(w, NewDUSTMatcher(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimated, err := Evaluate(w, NewDUSTEmpiricalMatcher(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kF1 := query.AverageMetrics(knowing).F1
+	eF1 := query.AverageMetrics(estimated).F1
+	if math.Abs(kF1-eF1) > 0.25 {
+		t.Errorf("estimated-error DUST (%v) too far from knowledgeable DUST (%v)", eF1, kF1)
+	}
+}
+
+func TestDUSTEmpiricalValidation(t *testing.T) {
+	noSamples := testWorkload(t, 0.4, 0)
+	if err := NewDUSTEmpiricalMatcher().Prepare(noSamples); err == nil {
+		t.Error("missing sample model should be rejected")
+	}
+	oneSample := testWorkload(t, 0.4, 1)
+	if err := NewDUSTEmpiricalMatcher().Prepare(oneSample); err == nil {
+		t.Error("a single sample per timestamp should be rejected")
+	}
+	if _, err := NewDUSTEmpiricalMatcher().Match(0); err == nil {
+		t.Error("unprepared matcher should error")
+	}
+}

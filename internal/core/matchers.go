@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/dust"
+	"uncertts/internal/query"
+	"uncertts/internal/timeseries"
+)
+
+// Matcher is a similarity technique reduced to the common task: given a
+// prepared workload, answer the range query for a query index and return
+// the matching series IDs.
+type Matcher interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Prepare binds the matcher to a workload, precomputing any derived
+	// representation (filtered series, lookup tables, thresholds).
+	Prepare(w *Workload) error
+	// Match answers the similarity query for query index qi.
+	Match(qi int) ([]int, error)
+}
+
+// ErrNotPrepared is returned when Match is called before Prepare.
+var ErrNotPrepared = errors.New("core: matcher not prepared")
+
+// distanceMatcher is the shared skeleton of all distance-based techniques
+// (Euclidean, DUST, UMA, UEMA, MA, EMA): a per-pair distance plus the
+// per-query threshold calibrated through the ground-truth K-th neighbour.
+type distanceMatcher struct {
+	w    *Workload
+	name string
+	dist func(qi, ci int) (float64, error)
+}
+
+func (m *distanceMatcher) Name() string { return m.name }
+
+// Distance returns the technique's distance between two series of the
+// prepared workload. It powers the top-k and classification tasks, which
+// need raw distances rather than range answers.
+func (m *distanceMatcher) Distance(qi, ci int) (float64, error) {
+	if m.w == nil {
+		return 0, ErrNotPrepared
+	}
+	return m.dist(qi, ci)
+}
+
+// DistanceMatcher is a Matcher that also exposes its pairwise distance
+// (every distance-based technique: Euclidean, DUST, MA/EMA/UMA/UEMA).
+type DistanceMatcher interface {
+	Matcher
+	Distance(qi, ci int) (float64, error)
+}
+
+func (m *distanceMatcher) Match(qi int) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotPrepared
+	}
+	cal := m.w.CalibrationNeighbor(qi)
+	if cal < 0 {
+		return nil, fmt.Errorf("core: %s: no calibration neighbour for query %d", m.name, qi)
+	}
+	eps, err := m.dist(qi, cal)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: threshold calibration: %w", m.name, err)
+	}
+	return query.RangeQueryFunc(m.w.Len(), qi, func(ci int) (float64, error) {
+		return m.dist(qi, ci)
+	}, eps)
+}
+
+// EuclideanMatcher is the baseline of Section 4.1.2: plain Euclidean
+// distance over the single perturbed observation per timestamp, ignoring
+// all uncertainty information.
+type EuclideanMatcher struct {
+	distanceMatcher
+}
+
+// NewEuclideanMatcher returns the baseline matcher.
+func NewEuclideanMatcher() *EuclideanMatcher { return &EuclideanMatcher{} }
+
+// Prepare binds the workload.
+func (m *EuclideanMatcher) Prepare(w *Workload) error {
+	m.w = w
+	m.name = "Euclidean"
+	m.dist = func(qi, ci int) (float64, error) {
+		return distance.Euclidean(w.PDF[qi].Observations, w.PDF[ci].Observations)
+	}
+	return nil
+}
+
+// DUSTMatcher runs the DUST distance with the workload's reported error
+// distributions. Its threshold is calibrated in DUST space, mirroring the
+// paper's eps_dust procedure.
+type DUSTMatcher struct {
+	distanceMatcher
+	// Opts configures the underlying evaluator (zero value = defaults).
+	Opts dust.Options
+	d    *dust.Dust
+}
+
+// NewDUSTMatcher returns a DUST matcher with default evaluator options.
+func NewDUSTMatcher() *DUSTMatcher { return &DUSTMatcher{} }
+
+// Prepare builds the evaluator and binds the workload.
+func (m *DUSTMatcher) Prepare(w *Workload) error {
+	m.w = w
+	m.name = "DUST"
+	m.d = dust.New(m.Opts)
+	m.dist = func(qi, ci int) (float64, error) {
+		return m.d.Distance(w.PDF[qi], w.PDF[ci])
+	}
+	return nil
+}
+
+// FilterKind selects the moving-average variant of a FilteredMatcher.
+type FilterKind int
+
+const (
+	// FilterMA is the plain moving average (Eq. 15) — no uncertainty
+	// information; the unweighted ablation baseline.
+	FilterMA FilterKind = iota
+	// FilterEMA is the exponential moving average (Eq. 16).
+	FilterEMA
+	// FilterUMA is the Uncertain Moving Average (Eq. 17).
+	FilterUMA
+	// FilterUEMA is the Uncertain Exponential Moving Average (Eq. 18).
+	FilterUEMA
+)
+
+func (k FilterKind) String() string {
+	switch k {
+	case FilterMA:
+		return "MA"
+	case FilterEMA:
+		return "EMA"
+	case FilterUMA:
+		return "UMA"
+	case FilterUEMA:
+		return "UEMA"
+	default:
+		return fmt.Sprintf("FilterKind(%d)", int(k))
+	}
+}
+
+// FilteredMatcher implements the paper's Section 5 measures: filter every
+// observation sequence, then use plain Euclidean distance on the filtered
+// series ("Euclidean, UMA, and UEMA share the same distance function, but
+// the input sequence is different").
+type FilteredMatcher struct {
+	distanceMatcher
+	// Kind selects MA / EMA / UMA / UEMA.
+	Kind FilterKind
+	// W is the window half-width w (window width 2w+1). The paper settles
+	// on w=2 (W=5).
+	W int
+	// Lambda is the exponential decay factor for EMA/UEMA (the paper
+	// settles on 1).
+	Lambda float64
+	// Mode selects the Eq. 17/18 weight reading (see timeseries package).
+	Mode timeseries.WeightMode
+
+	filtered [][]float64
+}
+
+// NewUMAMatcher returns the UMA measure with the paper's defaults (w=2,
+// normalized weights).
+func NewUMAMatcher(w int) *FilteredMatcher {
+	return &FilteredMatcher{Kind: FilterUMA, W: w}
+}
+
+// NewUEMAMatcher returns the UEMA measure (w, lambda per the paper: 2, 1).
+func NewUEMAMatcher(w int, lambda float64) *FilteredMatcher {
+	return &FilteredMatcher{Kind: FilterUEMA, W: w, Lambda: lambda}
+}
+
+// NewMAMatcher returns the unweighted moving-average ablation.
+func NewMAMatcher(w int) *FilteredMatcher {
+	return &FilteredMatcher{Kind: FilterMA, W: w}
+}
+
+// NewEMAMatcher returns the unweighted exponential-moving-average ablation.
+func NewEMAMatcher(w int, lambda float64) *FilteredMatcher {
+	return &FilteredMatcher{Kind: FilterEMA, W: w, Lambda: lambda}
+}
+
+// Name identifies the configured variant.
+func (m *FilteredMatcher) Name() string {
+	switch m.Kind {
+	case FilterEMA, FilterUEMA:
+		return fmt.Sprintf("%s(w=%d,lambda=%g)", m.Kind, m.W, m.Lambda)
+	default:
+		return fmt.Sprintf("%s(w=%d)", m.Kind, m.W)
+	}
+}
+
+// Prepare filters every series in the workload once.
+func (m *FilteredMatcher) Prepare(w *Workload) error {
+	m.w = w
+	m.name = m.Name()
+	m.filtered = make([][]float64, w.Len())
+	for i, ps := range w.PDF {
+		f, err := m.filter(ps.Observations, w.Sigmas)
+		if err != nil {
+			return fmt.Errorf("core: %s: filtering series %d: %w", m.name, ps.ID, err)
+		}
+		m.filtered[i] = f
+	}
+	m.dist = func(qi, ci int) (float64, error) {
+		return distance.Euclidean(m.filtered[qi], m.filtered[ci])
+	}
+	return nil
+}
+
+func (m *FilteredMatcher) filter(obs, sigmas []float64) ([]float64, error) {
+	switch m.Kind {
+	case FilterMA:
+		return timeseries.MovingAverage(obs, m.W), nil
+	case FilterEMA:
+		return timeseries.ExponentialMovingAverage(obs, m.W, m.Lambda), nil
+	case FilterUMA:
+		return timeseries.UncertainMovingAverage(obs, sigmas, m.W, m.Mode)
+	case FilterUEMA:
+		return timeseries.UncertainExponentialMovingAverage(obs, sigmas, m.W, m.Lambda, m.Mode)
+	default:
+		return nil, fmt.Errorf("core: unknown filter kind %d", int(m.Kind))
+	}
+}

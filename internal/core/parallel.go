@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"uncertts/internal/query"
+)
+
+// EvaluateParallel is Evaluate with the per-query work fanned out across
+// workers goroutines (0 = GOMAXPROCS). Results are identical to Evaluate —
+// per-query metrics in query order — because queries are independent: every
+// matcher in this package is safe for concurrent Match calls after a single
+// Prepare (shared state is read-only or mutex-guarded, like the DUST
+// tables).
+func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]query.Metrics, error) {
+	if err := m.Prepare(w); err != nil {
+		return nil, fmt.Errorf("core: preparing %s: %w", m.Name(), err)
+	}
+	if queries == nil {
+		queries = make([]int, w.Len())
+		for i := range queries {
+			queries[i] = i
+		}
+	}
+	for _, qi := range queries {
+		if qi < 0 || qi >= w.Len() {
+			return nil, fmt.Errorf("core: query index %d outside [0, %d)", qi, w.Len())
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		return Evaluate(w, m, queries)
+	}
+
+	out := make([]query.Metrics, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				met, err := EvaluateQuery(w, m, queries[idx])
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				out[idx] = met
+			}
+		}()
+	}
+	for idx := range queries {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on query %d: %w", m.Name(), queries[idx], err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	w := testWorkload(t, 0.5, 0)
+	for _, mk := range []func() Matcher{
+		func() Matcher { return NewEuclideanMatcher() },
+		func() Matcher { return NewDUSTMatcher() },
+		func() Matcher { return NewUEMAMatcher(2, 1) },
+		func() Matcher { return NewPROUDMatcher(0.1) },
+	} {
+		serial, err := Evaluate(w, mk(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := EvaluateParallel(w, mk(), nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: parallel results differ from serial", mk().Name())
+		}
+	}
+}
+
+func TestEvaluateParallelWorkerEdgeCases(t *testing.T) {
+	w := testWorkload(t, 0.4, 0)
+	// workers=0 defaults to GOMAXPROCS, workers > queries clamps, and a
+	// single worker falls back to the serial path.
+	for _, workers := range []int{0, 1, 100} {
+		ms, err := EvaluateParallel(w, NewEuclideanMatcher(), []int{0, 1, 2}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(ms) != 3 {
+			t.Fatalf("workers=%d: got %d rows", workers, len(ms))
+		}
+	}
+	if _, err := EvaluateParallel(w, NewEuclideanMatcher(), []int{999}, 2); err == nil {
+		t.Error("out-of-range query should error")
+	}
+	if _, err := EvaluateParallel(w, NewPROUDMatcher(0), nil, 2); err == nil {
+		t.Error("prepare failure should propagate")
+	}
+}
+
+func TestEvaluateParallelErrorPropagates(t *testing.T) {
+	// A matcher whose Match fails mid-run must surface the error.
+	w := testWorkload(t, 0.4, 0)
+	m := &failingMatcher{failAt: 3}
+	if err := m.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateParallel(w, m, []int{0, 1, 2, 3, 4}, 3); err == nil {
+		t.Error("expected the injected failure to propagate")
+	}
+}
+
+// failingMatcher fails on one specific query index; used for failure
+// injection.
+type failingMatcher struct {
+	w      *Workload
+	failAt int
+}
+
+func (m *failingMatcher) Name() string { return "failing" }
+func (m *failingMatcher) Prepare(w *Workload) error {
+	m.w = w
+	return nil
+}
+func (m *failingMatcher) Match(qi int) ([]int, error) {
+	if qi == m.failAt {
+		return nil, errInjected
+	}
+	return nil, nil
+}
+
+var errInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string { return "injected failure" }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
+	"uncertts/internal/query"
+)
+
+// PROUDMatcher answers the probabilistic range query of Equations 8-11
+// using the Euclidean threshold calibrated on the ground truth and the
+// workload's single reported sigma.
+type PROUDMatcher struct {
+	// Tau is the probability threshold. The paper uses "the optimal
+	// probabilistic threshold tau determined after repeated experiments";
+	// CalibrateTau reproduces that procedure.
+	Tau float64
+	// UseSynopsis switches to the Haar-synopsis variant with Coeffs
+	// retained coefficients.
+	UseSynopsis bool
+	Coeffs      int
+
+	w *Workload
+}
+
+// NewPROUDMatcher returns a PROUD matcher with the given tau.
+func NewPROUDMatcher(tau float64) *PROUDMatcher { return &PROUDMatcher{Tau: tau} }
+
+// Name identifies the technique.
+func (m *PROUDMatcher) Name() string {
+	if m.UseSynopsis {
+		return fmt.Sprintf("PROUD-wavelet(tau=%g,k=%d)", m.Tau, m.Coeffs)
+	}
+	return fmt.Sprintf("PROUD(tau=%g)", m.Tau)
+}
+
+// Prepare binds the workload.
+func (m *PROUDMatcher) Prepare(w *Workload) error {
+	if m.Tau <= 0 || m.Tau >= 1 {
+		return fmt.Errorf("core: PROUD tau %v outside (0, 1)", m.Tau)
+	}
+	m.w = w
+	return nil
+}
+
+// Match answers the probabilistic range query for query index qi.
+func (m *PROUDMatcher) Match(qi int) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotPrepared
+	}
+	eps := m.w.EpsEucl(qi)
+	base := proud.Matcher{
+		Eps:        eps,
+		Tau:        m.Tau,
+		QuerySigma: m.w.ReportedSigma,
+		CandSigma:  m.w.ReportedSigma,
+	}
+	q := m.w.PDF[qi].Observations
+	match := func(c []float64) (bool, error) { return base.Matches(q, c) }
+	if m.UseSynopsis {
+		syn := proud.SynopsisMatcher{Matcher: base, Coeffs: m.Coeffs}
+		match = func(c []float64) (bool, error) { return syn.Matches(q, c) }
+	}
+	var out []int
+	for ci := range m.w.PDF {
+		if ci == qi {
+			continue
+		}
+		ok, err := match(m.w.PDF[ci].Observations)
+		if err != nil {
+			return nil, fmt.Errorf("core: PROUD candidate %d: %w", ci, err)
+		}
+		if ok {
+			out = append(out, ci)
+		}
+	}
+	return out, nil
+}
+
+// MunichProbCache memoises MUNICH pair probabilities within one workload.
+// The probability Pr(distance(q, c) <= eps(q)) does not depend on tau, so a
+// tau calibration sweep can share one cache across matcher instances and
+// pay the expensive distance counting once per (query, candidate) pair.
+// A cache must never be shared across different workloads.
+type MunichProbCache struct {
+	mu sync.Mutex
+	m  map[[2]int]float64
+}
+
+// NewMunichProbCache returns an empty cache.
+func NewMunichProbCache() *MunichProbCache {
+	return &MunichProbCache{m: make(map[[2]int]float64)}
+}
+
+func (c *MunichProbCache) get(qi, ci int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[[2]int{qi, ci}]
+	return p, ok
+}
+
+func (c *MunichProbCache) put(qi, ci int, p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[[2]int{qi, ci}] = p
+}
+
+// Len reports the number of cached pairs.
+func (c *MunichProbCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// MUNICHMatcher answers the probabilistic range query by counting feasible
+// distances over the repeated-observation model. The workload must have
+// been built with SamplesPerTS > 0.
+type MUNICHMatcher struct {
+	// Tau is the probability threshold (calibrated like PROUD's).
+	Tau float64
+	// Opts tunes the probability estimator.
+	Opts munich.Options
+	// Cache optionally shares pair probabilities across matcher instances
+	// bound to the same workload (tau calibration sweeps).
+	Cache *MunichProbCache
+
+	w *Workload
+}
+
+// NewMUNICHMatcher returns a MUNICH matcher with the given tau.
+func NewMUNICHMatcher(tau float64) *MUNICHMatcher { return &MUNICHMatcher{Tau: tau} }
+
+// Name identifies the technique.
+func (m *MUNICHMatcher) Name() string { return fmt.Sprintf("MUNICH(tau=%g)", m.Tau) }
+
+// Prepare binds the workload and checks the sample model exists.
+func (m *MUNICHMatcher) Prepare(w *Workload) error {
+	if m.Tau <= 0 || m.Tau > 1 {
+		return fmt.Errorf("core: MUNICH tau %v outside (0, 1]", m.Tau)
+	}
+	if w.Samples == nil {
+		return errors.New("core: MUNICH requires a workload with SamplesPerTS > 0")
+	}
+	m.w = w
+	return nil
+}
+
+// Match answers the probabilistic range query for query index qi.
+func (m *MUNICHMatcher) Match(qi int) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotPrepared
+	}
+	eps := m.w.EpsEucl(qi)
+	var out []int
+	for ci := range m.w.Samples {
+		if ci == qi {
+			continue
+		}
+		p, err := m.pairProbability(qi, ci, eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: MUNICH candidate %d: %w", ci, err)
+		}
+		if p >= m.Tau {
+			out = append(out, ci)
+		}
+	}
+	return out, nil
+}
+
+// pairProbability returns Pr(distance(q, c) <= eps), consulting the shared
+// cache and the bounding-interval pruning before any counting.
+func (m *MUNICHMatcher) pairProbability(qi, ci int, eps float64) (float64, error) {
+	if m.Cache != nil {
+		if p, ok := m.Cache.get(qi, ci); ok {
+			return p, nil
+		}
+	}
+	var p float64
+	dec, err := munich.Prune(m.w.Samples[qi], m.w.Samples[ci], eps)
+	if err != nil {
+		return 0, err
+	}
+	switch dec {
+	case munich.PruneAccept:
+		p = 1
+	case munich.PruneReject:
+		p = 0
+	default:
+		p, err = munich.Probability(m.w.Samples[qi], m.w.Samples[ci], eps, m.Opts)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if m.Cache != nil {
+		m.Cache.put(qi, ci, p)
+	}
+	return p, nil
+}
+
+// EvaluateQuery runs one matcher on one query and scores it against the
+// ground truth.
+func EvaluateQuery(w *Workload, m Matcher, qi int) (query.Metrics, error) {
+	got, err := m.Match(qi)
+	if err != nil {
+		return query.Metrics{}, err
+	}
+	return query.Evaluate(got, w.Truth(qi)), nil
+}
+
+// Evaluate runs the matcher over the given query indexes (nil = every
+// series as a query, the paper's protocol) and returns per-query metrics.
+func Evaluate(w *Workload, m Matcher, queries []int) ([]query.Metrics, error) {
+	if err := m.Prepare(w); err != nil {
+		return nil, fmt.Errorf("core: preparing %s: %w", m.Name(), err)
+	}
+	if queries == nil {
+		queries = make([]int, w.Len())
+		for i := range queries {
+			queries[i] = i
+		}
+	}
+	out := make([]query.Metrics, 0, len(queries))
+	for _, qi := range queries {
+		if qi < 0 || qi >= w.Len() {
+			return nil, fmt.Errorf("core: query index %d outside [0, %d)", qi, w.Len())
+		}
+		met, err := EvaluateQuery(w, m, qi)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on query %d: %w", m.Name(), qi, err)
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}
+
+// DefaultTauGrid is the tau grid CalibrateTau sweeps by default. It reaches
+// far into the small-tau regime because PROUD's distance statistic
+// double-counts realized noise (the observed distance already contains the
+// perturbation that E[dist^2] adds again), so its optimal tau sits well
+// below 0.5 at moderate noise.
+var DefaultTauGrid = []float64{1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.95}
+
+// CalibrateTau reproduces the paper's "optimal probabilistic threshold tau
+// determined after repeated experiments": it evaluates the matcher factory
+// over a tau grid and returns the tau with the best mean F1, along with
+// that F1.
+func CalibrateTau(w *Workload, factory func(tau float64) Matcher, queries []int, grid []float64) (bestTau, bestF1 float64, err error) {
+	if grid == nil {
+		grid = DefaultTauGrid
+	}
+	bestF1 = -1
+	for _, tau := range grid {
+		ms, err := Evaluate(w, factory(tau), queries)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: calibrating tau=%v: %w", tau, err)
+		}
+		f1 := query.AverageMetrics(ms).F1
+		if f1 > bestF1 {
+			bestF1 = f1
+			bestTau = tau
+		}
+	}
+	return bestTau, bestF1, nil
+}

@@ -1,0 +1,168 @@
+package dust
+
+import (
+	"math"
+
+	"uncertts/internal/stats"
+)
+
+// correlation returns the cross-correlation of two error densities at lag
+// delta — Integral f_x(u) f_y(u - delta) du — using a closed form whenever
+// one exists for the distribution pair, and reporting whether it did.
+//
+// Closed forms exist for every pair drawn from {normal, uniform, shifted
+// exponential} and extend to finite mixtures of such components by
+// bilinearity. They matter because DUST builds a lookup table per distinct
+// error distribution, and the tail workaround wraps every distribution in a
+// mixture: without the mixture decomposition even pure-normal errors would
+// fall back to numerical integration.
+func correlation(dx, dy stats.Dist, delta float64) (float64, bool) {
+	switch x := dx.(type) {
+	case stats.Normal:
+		switch y := dy.(type) {
+		case stats.Normal:
+			return normalNormal(x, y, delta), true
+		case stats.Uniform:
+			return uniformNormal(y, x, -delta), true
+		case stats.Exponential:
+			return expNormal(y, x, -delta), true
+		case stats.Mixture:
+			return mixtureRight(dx, y, delta)
+		}
+	case stats.Uniform:
+		switch y := dy.(type) {
+		case stats.Normal:
+			return uniformNormal(x, y, delta), true
+		case stats.Uniform:
+			return uniformUniform(x, y, delta), true
+		case stats.Exponential:
+			return expUniform(y, x, -delta), true
+		case stats.Mixture:
+			return mixtureRight(dx, y, delta)
+		}
+	case stats.Exponential:
+		switch y := dy.(type) {
+		case stats.Normal:
+			return expNormal(x, y, delta), true
+		case stats.Uniform:
+			return expUniform(x, y, delta), true
+		case stats.Exponential:
+			return expExp(x, y, delta), true
+		case stats.Mixture:
+			return mixtureRight(dx, y, delta)
+		}
+	case stats.Mixture:
+		return mixtureLeft(x, dy, delta)
+	}
+	return 0, false
+}
+
+// mixtureLeft expands sum_i w_i corr(c_i, dy).
+func mixtureLeft(x stats.Mixture, dy stats.Dist, delta float64) (float64, bool) {
+	var acc float64
+	for i, c := range x.Components {
+		v, ok := correlation(c, dy, delta)
+		if !ok {
+			return 0, false
+		}
+		acc += x.Weights[i] * v
+	}
+	return acc, true
+}
+
+// mixtureRight expands sum_j w_j corr(dx, c_j).
+func mixtureRight(dx stats.Dist, y stats.Mixture, delta float64) (float64, bool) {
+	var acc float64
+	for j, c := range y.Components {
+		v, ok := correlation(dx, c, delta)
+		if !ok {
+			return 0, false
+		}
+		acc += y.Weights[j] * v
+	}
+	return acc, true
+}
+
+// normalNormal: Integral N(u; m1, s1) N(u - d; m2, s2) du equals the
+// N(m1 - m2, s1^2 + s2^2) density at d.
+func normalNormal(x, y stats.Normal, delta float64) float64 {
+	mu := x.Mu - y.Mu
+	sd := math.Hypot(x.Sigma, y.Sigma)
+	z := (delta - mu) / sd
+	return math.Exp(-z*z/2) / (sd * math.Sqrt(2*math.Pi))
+}
+
+// uniformUniform: the correlation of U[a1,b1] with U[a2,b2] at lag d is the
+// length of [a1,b1] ∩ [a2+d, b2+d] divided by the product of the widths.
+func uniformUniform(x, y stats.Uniform, delta float64) float64 {
+	lo := math.Max(x.A, y.A+delta)
+	hi := math.Min(x.B, y.B+delta)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / ((x.B - x.A) * (y.B - y.A))
+}
+
+// uniformNormal: Integral_{a}^{b} 1/(b-a) * N(u - d; mu, s) du
+// = [Phi((b-d-mu)/s) - Phi((a-d-mu)/s)] / (b - a).
+func uniformNormal(u stats.Uniform, n stats.Normal, delta float64) float64 {
+	zHi := (u.B - delta - n.Mu) / n.Sigma
+	zLo := (u.A - delta - n.Mu) / n.Sigma
+	return (stats.NormalCDF(zHi) - stats.NormalCDF(zLo)) / (u.B - u.A)
+}
+
+// expExp: correlation of two shifted exponentials. With rates l1 = 1/s1,
+// l2 = 1/s2 and effective lag t = delta - shift1 + shift2 (shifts translate
+// the supports), the unshifted integral over u >= max(0, t) is
+//
+//	l1 l2 / (l1 + l2) * exp(-l1 max(0,t)) * exp(-l2 (max(0,t) - t))
+func expExp(x, y stats.Exponential, delta float64) float64 {
+	l1 := 1 / x.Scale
+	l2 := 1 / y.Scale
+	t := delta + x.Shift - y.Shift
+	m := math.Max(0, t)
+	return l1 * l2 / (l1 + l2) * math.Exp(-l1*m) * math.Exp(-l2*(m-t))
+}
+
+// expNormal: correlation of a shifted exponential with a normal — the
+// exponentially-modified-Gaussian density form:
+//
+//	Integral_{v >= 0} l e^{-l v} N(v - t; mu, s) dv
+//	= l/2 * exp(l/2 (2(mu+t) + l s^2)) ... standard EMG with location.
+//
+// Concretely, with X ~ Exp(l) - shift and the normal N(mu, s^2):
+// corr(d) = Integral f_exp(u) f_norm(u - d) du; substituting v = u + shift:
+// corr(d) = Integral_{v>=0} l e^{-l v} N(v - (d + shift + mu'); ...) dv
+// where the normal is evaluated at (v - shift - d - mu).
+func expNormal(e stats.Exponential, n stats.Normal, delta float64) float64 {
+	l := 1 / e.Scale
+	// Target: Integral_{v >= 0} l exp(-l v) * N(v - c; 0, s) dv with
+	// c = delta + e.Shift + n.Mu and s = n.Sigma. This is the EMG density
+	// of (Exp(l) + N(0, s^2)) evaluated at c:
+	//   l/2 * exp(l/2 (l s^2 - 2c)) * erfc((l s^2 - c) / (s sqrt(2)))
+	c := delta + e.Shift + n.Mu
+	s := n.Sigma
+	arg := l / 2 * (l*s*s - 2*c)
+	z := (l*s*s - c) / (s * math.Sqrt2)
+	// Guard overflow: combine exp and erfc in log space when arg is large.
+	if arg > 700 {
+		// erfc(z) ~ exp(-z^2)/(z sqrt(pi)) for large z; combine logs.
+		if z <= 0 {
+			return math.Inf(1) // cannot happen for valid densities
+		}
+		logv := math.Log(l/2) + arg + (-z*z - math.Log(z*math.Sqrt(math.Pi)))
+		return math.Exp(logv)
+	}
+	return l / 2 * math.Exp(arg) * math.Erfc(z)
+}
+
+// expUniform: Integral f_exp(u) f_uni(u - d) du. The uniform picks out a
+// window [A+d, B+d]; over that window the exponential density integrates in
+// closed form:
+//
+//	1/(B-A) * [F_exp(hi) - F_exp(lo)]
+func expUniform(e stats.Exponential, u stats.Uniform, delta float64) float64 {
+	lo := u.A + delta
+	hi := u.B + delta
+	return (e.CDF(hi) - e.CDF(lo)) / (u.B - u.A)
+}

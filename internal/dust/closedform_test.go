@@ -1,0 +1,176 @@
+package dust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"uncertts/internal/stats"
+)
+
+// numericCorrelation is the reference implementation: direct integration of
+// f_x(u) f_y(u - delta) over the support intersection.
+func numericCorrelation(dx, dy stats.Dist, delta float64) float64 {
+	return phi(dx, dy, delta, 1e-12)
+}
+
+func closedFormPairs() []struct {
+	name   string
+	dx, dy stats.Dist
+} {
+	n1 := stats.NewNormal(0, 0.5)
+	n2 := stats.NewNormal(0.3, 1.2)
+	u1 := stats.NewUniformByStdDev(0.6)
+	u2 := stats.NewUniform(-0.5, 2)
+	e1 := stats.NewExponentialByStdDev(0.8)
+	e2 := stats.Exponential{Scale: 0.4, Shift: 0.1}
+	mix := stats.NewMixture([]stats.Dist{n1, u1}, []float64{0.7, 0.3})
+	return []struct {
+		name   string
+		dx, dy stats.Dist
+	}{
+		{"normal-normal", n1, n2},
+		{"normal-uniform", n1, u2},
+		{"uniform-normal", u1, n2},
+		{"uniform-uniform", u1, u2},
+		{"exp-exp", e1, e2},
+		{"exp-normal", e1, n1},
+		{"normal-exp", n2, e1},
+		{"exp-uniform", e1, u1},
+		{"uniform-exp", u2, e2},
+		{"mixture-normal", mix, n1},
+		{"normal-mixture", n2, mix},
+		{"mixture-mixture", mix, mix},
+	}
+}
+
+func TestClosedFormsMatchIntegration(t *testing.T) {
+	for _, pair := range closedFormPairs() {
+		for _, delta := range []float64{-2.5, -1, -0.3, 0, 0.3, 1, 2.5} {
+			got, ok := correlation(pair.dx, pair.dy, delta)
+			if !ok {
+				t.Fatalf("%s: no closed form", pair.name)
+			}
+			want := numericCorrelation(pair.dx, pair.dy, delta)
+			tol := 1e-6 * (1 + want)
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s delta=%v: closed form %v vs integration %v",
+					pair.name, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestClosedFormSymmetryUnderSwap(t *testing.T) {
+	// corr(dx, dy, delta) must equal corr(dy, dx, -delta) (substitution
+	// u -> u + delta).
+	for _, pair := range closedFormPairs() {
+		for _, delta := range []float64{-1.2, 0, 0.7} {
+			a, ok1 := correlation(pair.dx, pair.dy, delta)
+			b, ok2 := correlation(pair.dy, pair.dx, -delta)
+			if !ok1 || !ok2 {
+				t.Fatalf("%s: missing closed form", pair.name)
+			}
+			if math.Abs(a-b) > 1e-10*(1+math.Abs(a)) {
+				t.Errorf("%s: corr(x,y,%v)=%v but corr(y,x,%v)=%v",
+					pair.name, delta, a, -delta, b)
+			}
+		}
+	}
+}
+
+func TestClosedFormPeaksNearZeroLag(t *testing.T) {
+	// For identical symmetric distributions the correlation peaks at zero
+	// lag.
+	for _, d := range []stats.Dist{
+		stats.NewNormal(0, 0.7),
+		stats.NewUniformByStdDev(0.9),
+	} {
+		peak, _ := correlation(d, d, 0)
+		for _, delta := range []float64{0.2, 0.5, 1, 2} {
+			v, _ := correlation(d, d, delta)
+			if v > peak+1e-12 {
+				t.Errorf("%v: corr(%v)=%v exceeds zero-lag peak %v", d, delta, v, peak)
+			}
+		}
+	}
+}
+
+func TestClosedFormIntegratesToOne(t *testing.T) {
+	// Integral over delta of corr(delta) equals 1 (it is the density of
+	// X - Y). Verified numerically for a representative pair.
+	e := stats.NewExponentialByStdDev(0.5)
+	n := stats.NewNormal(0, 0.4)
+	f := func(delta float64) float64 {
+		v, _ := correlation(e, n, delta)
+		return v
+	}
+	total := stats.Integrate(f, -8, 8, 1e-10)
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("correlation density integrates to %v, want 1", total)
+	}
+}
+
+func TestExpNormalOverflowGuard(t *testing.T) {
+	// Extreme negative lag pushes the EMG exponent past exp overflow; the
+	// log-space branch must return a finite, tiny density.
+	e := stats.NewExponentialByStdDev(0.01) // rate 100
+	n := stats.NewNormal(0, 0.01)
+	v := expNormal(e, n, -0.4) // arg = l/2*(l s^2 - 2c) = 50*(0.01+0.78) huge
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("overflow guard failed: %v", v)
+	}
+	if v < 0 {
+		t.Errorf("density cannot be negative: %v", v)
+	}
+}
+
+func TestNoClosedFormFallsBack(t *testing.T) {
+	// A distribution type outside the family set must report no closed
+	// form; Dust.phiAt then integrates. The integration path must agree
+	// with the closed form of an equivalent known distribution.
+	unknown := unknownDist{}
+	if _, ok := correlation(unknown, stats.NewNormal(0, 1), 0); ok {
+		t.Error("unexpected closed form for unknown type")
+	}
+	d := New(Options{TailWeight: -1, Exact: true})
+	vUnknown, err := d.Value(0, 0.5, unknown, unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := stats.NewUniform(0, 1)
+	vKnown, err := d.Value(0, 0.5, known, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vUnknown-vKnown) > 1e-4*(1+vKnown) {
+		t.Errorf("fallback integration %v disagrees with closed form %v", vUnknown, vKnown)
+	}
+}
+
+// unknownDist is U[0,1] implemented as a type the closed-form dispatch does
+// not recognise.
+type unknownDist struct{}
+
+func (unknownDist) PDF(x float64) float64 {
+	if x < 0 || x > 1 {
+		return 0
+	}
+	return 1
+}
+func (unknownDist) CDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+func (unknownDist) Quantile(p float64) float64  { return p }
+func (unknownDist) Sample(*rand.Rand) float64   { panic("dust test: Sample unused") }
+func (unknownDist) Mean() float64               { return 0.5 }
+func (unknownDist) Variance() float64           { return 1.0 / 12 }
+func (unknownDist) Support() (float64, float64) { return 0, 1 }
+func (unknownDist) String() string              { return "unknown" }

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uncertts/internal/stats"
+)
+
+// ChiSquare reproduces the Section 4.1.1 check: "According to the
+// Chi-square test, the hypothesis that the datasets follow the uniform
+// distribution was rejected (for all datasets) with confidence level
+// alpha = 0.01."
+func ChiSquare(cfg Config) ([]Table, error) {
+	const alpha = 0.01
+	t := Table{
+		Name:    "chisquare",
+		Caption: "chi-square uniformity test of dataset values (Section 4.1.1), alpha=0.01",
+		Header:  []string{"dataset", "chi2", "df", "p-value", "uniform-rejected"},
+	}
+	for _, ds := range cfg.datasets() {
+		res, err := stats.ChiSquareUniformTest(ds.AllValues(), 20)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chi-square on %s: %w", ds.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			ds.Name,
+			fmt.Sprintf("%.1f", res.Statistic),
+			fmt.Sprintf("%d", res.DF),
+			fmt.Sprintf("%.3g", res.PValue),
+			fmt.Sprintf("%v", res.Reject(alpha)),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uncertts/internal/core"
+	"uncertts/internal/munich"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+// Fig4 reproduces Figure 4: F1 of MUNICH, PROUD, DUST and Euclidean on the
+// Gun Point dataset truncated to 60 series of length 6, with 5 samples per
+// timestamp for MUNICH, 5 queries, and the error standard deviation swept
+// over [0.2, 2.0] for the three error families. MUNICH's accuracy collapses
+// for sigma > 0.6 while the others degrade gracefully.
+func Fig4(cfg Config) ([]Table, error) {
+	const (
+		nSeries      = 60
+		length       = 6
+		samplesPerTS = 5
+		nQueries     = 5
+		k            = 10
+	)
+	full, err := ucr.Generate("GunPoint", ucr.Options{MaxSeries: nSeries, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ds := full.Truncated(nSeries, length)
+	// Re-normalize after truncation so distances stay on the usual scale.
+	ds = timeseries.Dataset{Name: ds.Name, Series: ds.Series}.Normalize()
+
+	p := cfg.params()
+	var tables []Table
+	for _, family := range uncertain.AllErrorFamilies() {
+		t := Table{
+			Name:    "fig4-" + family.String(),
+			Caption: fmt.Sprintf("F1 on truncated Gun Point (60x6, 5 samples/ts), %s error", family),
+			Header:  []string{"sigma", "MUNICH", "PROUD", "DUST", "Euclidean"},
+		}
+		for _, sigma := range p.sigmas {
+			pert, err := uncertain.NewConstantPerturber(family, sigma, length, cfg.Seed+int64(sigma*1000))
+			if err != nil {
+				return nil, err
+			}
+			w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: k, SamplesPerTS: samplesPerTS})
+			if err != nil {
+				return nil, err
+			}
+			queries := queryIndexes(w, nQueries)
+			calQs := queries
+			if len(calQs) > p.calQs {
+				calQs = calQs[:p.calQs]
+			}
+
+			// One probability cache per workload: the tau sweep and the
+			// final evaluation share the expensive distance counting.
+			cache := core.NewMunichProbCache()
+			munichTau, _, err := core.CalibrateTau(w, func(tau float64) core.Matcher {
+				return &core.MUNICHMatcher{Tau: tau, Opts: munich.Options{}, Cache: cache}
+			}, calQs, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 MUNICH tau: %w", err)
+			}
+			proudTau, _, err := core.CalibrateTau(w, func(tau float64) core.Matcher {
+				return core.NewPROUDMatcher(tau)
+			}, calQs, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 PROUD tau: %w", err)
+			}
+
+			mF1, err := meanF1(w, &core.MUNICHMatcher{Tau: munichTau, Opts: munich.Options{}, Cache: cache}, queries)
+			if err != nil {
+				return nil, err
+			}
+			pF1, err := meanF1(w, core.NewPROUDMatcher(proudTau), queries)
+			if err != nil {
+				return nil, err
+			}
+			dF1, err := meanF1(w, core.NewDUSTMatcher(), queries)
+			if err != nil {
+				return nil, err
+			}
+			eF1, err := meanF1(w, core.NewEuclideanMatcher(), queries)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{fmtS(sigma), fmtF(mF1), fmtF(pF1), fmtF(dF1), fmtF(eF1)})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

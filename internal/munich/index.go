@@ -1,0 +1,164 @@
+package munich
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"uncertts/internal/uncertain"
+)
+
+// Index is the filter step of the original MUNICH system: every uncertain
+// series is summarised by its per-timestamp minimal bounding intervals,
+// coarsened into fixed-width segments (a piecewise-constant envelope, the
+// flat cousin of an R-tree leaf). A range query first walks the envelopes
+// and discards candidates whose envelope-level lower bound already exceeds
+// eps; only survivors pay for probability counting. The filter is lossless:
+// envelope bounds are looser than the exact per-timestamp bounds, so no
+// candidate that could match is dropped (no false dismissals).
+type Index struct {
+	segments int
+	entries  []indexEntry
+	series   []uncertain.SampleSeries
+	length   int
+}
+
+type indexEntry struct {
+	lo []float64 // per-segment envelope minimum
+	hi []float64 // per-segment envelope maximum
+}
+
+// NewIndex builds an envelope index over equal-length sample series with
+// the given number of envelope segments (clamped to the series length).
+func NewIndex(collection []uncertain.SampleSeries, segments int) (*Index, error) {
+	if len(collection) == 0 {
+		return nil, errors.New("munich: NewIndex: empty collection")
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	n := collection[0].Len()
+	if segments > n {
+		segments = n
+	}
+	idx := &Index{segments: segments, length: n, series: collection}
+	for _, s := range collection {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Len() != n {
+			return nil, fmt.Errorf("munich: NewIndex: series %d has length %d, want %d", s.ID, s.Len(), n)
+		}
+		idx.entries = append(idx.entries, buildEntry(s, segments))
+	}
+	return idx, nil
+}
+
+func buildEntry(s uncertain.SampleSeries, segments int) indexEntry {
+	e := indexEntry{lo: make([]float64, segments), hi: make([]float64, segments)}
+	n := s.Len()
+	for seg := 0; seg < segments; seg++ {
+		start := seg * n / segments
+		end := (seg + 1) * n / segments
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := start; i < end; i++ {
+			l, h := s.MinMaxAt(i)
+			lo = math.Min(lo, l)
+			hi = math.Max(hi, h)
+		}
+		e.lo[seg] = lo
+		e.hi[seg] = hi
+	}
+	return e
+}
+
+// segmentSpans returns the [start, end) timestamp range of each segment for
+// a series of the index's length.
+func (x *Index) segmentSpans() [][2]int {
+	spans := make([][2]int, x.segments)
+	for seg := 0; seg < x.segments; seg++ {
+		spans[seg] = [2]int{seg * x.length / x.segments, (seg + 1) * x.length / x.segments}
+	}
+	return spans
+}
+
+// lowerBound returns a lower bound on every feasible Euclidean distance
+// between materialisations of the query and entry i, computed segment-wise:
+// within a segment the envelopes bound every per-timestamp interval, so the
+// minimal per-timestamp gap between envelopes, squared and summed over the
+// segment's width, lower-bounds the true squared distance.
+func (x *Index) lowerBound(q indexEntry, i int) float64 {
+	c := x.entries[i]
+	var acc float64
+	spans := x.segmentSpans()
+	for seg := 0; seg < x.segments; seg++ {
+		var gap float64
+		switch {
+		case q.lo[seg] > c.hi[seg]:
+			gap = q.lo[seg] - c.hi[seg]
+		case c.lo[seg] > q.hi[seg]:
+			gap = c.lo[seg] - q.hi[seg]
+		default:
+			continue
+		}
+		width := float64(spans[seg][1] - spans[seg][0])
+		acc += gap * gap * width
+	}
+	return math.Sqrt(acc)
+}
+
+// FilterStats reports how much work the filter saved.
+type FilterStats struct {
+	Candidates int // total candidates inspected
+	Pruned     int // discarded by the envelope lower bound
+}
+
+// Filter returns the positions (indexes into the indexed collection) of all
+// candidates whose envelope lower bound does not exceed eps, excluding
+// selfID (the query's own series ID, -1 to keep everything).
+func (x *Index) Filter(q uncertain.SampleSeries, eps float64, selfID int) ([]int, FilterStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, FilterStats{}, err
+	}
+	if q.Len() != x.length {
+		return nil, FilterStats{}, fmt.Errorf("munich: Filter: query length %d, index length %d", q.Len(), x.length)
+	}
+	qe := buildEntry(q, x.segments)
+	var out []int
+	stats := FilterStats{}
+	for i := range x.entries {
+		if x.series[i].ID == selfID {
+			continue
+		}
+		stats.Candidates++
+		if x.lowerBound(qe, i) > eps {
+			stats.Pruned++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out, stats, nil
+}
+
+// RangeQuery runs the full filter-and-refine pipeline: envelope filter,
+// exact bounding-interval prune, then probability counting on the
+// survivors. It returns the IDs of matching series and the filter
+// statistics.
+func (x *Index) RangeQuery(q uncertain.SampleSeries, eps, tau float64, opts Options) ([]int, FilterStats, error) {
+	candidates, stats, err := x.Filter(q, eps, q.ID)
+	if err != nil {
+		return nil, stats, err
+	}
+	matcher := Matcher{Eps: eps, Tau: tau, Opts: opts}
+	var out []int
+	for _, i := range candidates {
+		ok, err := matcher.Matches(q, x.series[i])
+		if err != nil {
+			return nil, stats, fmt.Errorf("munich: refining candidate %d: %w", x.series[i].ID, err)
+		}
+		if ok {
+			out = append(out, x.series[i].ID)
+		}
+	}
+	return out, stats, nil
+}

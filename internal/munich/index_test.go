@@ -1,0 +1,160 @@
+package munich
+
+import (
+	"testing"
+
+	"uncertts/internal/stats"
+	"uncertts/internal/uncertain"
+)
+
+// indexCollection builds a collection of noisy sample series around
+// distinct base levels.
+func indexCollection(t *testing.T, n, length, samples int) []uncertain.SampleSeries {
+	t.Helper()
+	rng := stats.NewRand(19)
+	out := make([]uncertain.SampleSeries, n)
+	for id := 0; id < n; id++ {
+		base := float64(id) * 0.5
+		rows := make([][]float64, length)
+		for i := range rows {
+			row := make([]float64, samples)
+			for j := range row {
+				row[j] = base + rng.NormFloat64()*0.1
+			}
+			rows[i] = row
+		}
+		out[id] = uncertain.SampleSeries{Samples: rows, ID: id}
+	}
+	return out
+}
+
+func TestIndexNoFalseDismissals(t *testing.T) {
+	coll := indexCollection(t, 12, 8, 3)
+	idx, err := NewIndex(coll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll[0]
+	for _, eps := range []float64{0.5, 1, 2, 5} {
+		kept, _, err := idx.Filter(q, eps, q.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keptSet := make(map[int]bool)
+		for _, i := range kept {
+			keptSet[i] = true
+		}
+		// Every candidate with true lower bound <= eps must survive the
+		// envelope filter (the envelope bound is looser).
+		for i, c := range coll {
+			if c.ID == q.ID {
+				continue
+			}
+			lo, _, err := Bounds(q, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo <= eps && !keptSet[i] {
+				t.Errorf("eps=%v: candidate %d (true lower bound %v) was falsely dismissed", eps, c.ID, lo)
+			}
+		}
+	}
+}
+
+func TestIndexPrunesDistantCandidates(t *testing.T) {
+	coll := indexCollection(t, 12, 8, 3)
+	idx, err := NewIndex(coll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight eps from series 0 must prune the far-away series.
+	_, stats, err := idx.Filter(coll[0], 0.8, coll[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 {
+		t.Error("expected the envelope filter to prune distant candidates")
+	}
+	if stats.Candidates != 11 {
+		t.Errorf("candidates = %d, want 11", stats.Candidates)
+	}
+}
+
+func TestIndexRangeQueryMatchesDirectScan(t *testing.T) {
+	coll := indexCollection(t, 10, 6, 3)
+	idx, err := NewIndex(coll, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Estimator: EstimatorExact}
+	m := Matcher{Eps: 1.2, Tau: 0.5, Opts: opts}
+	q := coll[2]
+
+	direct, err := m.RangeQuery(q, withoutID(coll, q.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, _, err := idx.RangeQuery(q, 1.2, 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(indexed) {
+		t.Fatalf("direct %v vs indexed %v", direct, indexed)
+	}
+	for i := range direct {
+		if direct[i] != indexed[i] {
+			t.Fatalf("direct %v vs indexed %v", direct, indexed)
+		}
+	}
+}
+
+func withoutID(coll []uncertain.SampleSeries, id int) []uncertain.SampleSeries {
+	var out []uncertain.SampleSeries
+	for _, c := range coll {
+		if c.ID != id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil, 4); err == nil {
+		t.Error("empty collection should error")
+	}
+	coll := indexCollection(t, 3, 6, 2)
+	ragged := append([]uncertain.SampleSeries{}, coll...)
+	ragged[1] = uncertain.SampleSeries{Samples: [][]float64{{1}}, ID: 1}
+	if _, err := NewIndex(ragged, 2); err == nil {
+		t.Error("ragged lengths should error")
+	}
+	idx, err := NewIndex(coll, 100) // clamps to length
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := uncertain.SampleSeries{Samples: [][]float64{{1}}, ID: 9}
+	if _, _, err := idx.Filter(short, 1, -1); err == nil {
+		t.Error("mismatched query length should error")
+	}
+	if _, _, err := idx.Filter(uncertain.SampleSeries{}, 1, -1); err == nil {
+		t.Error("invalid query should error")
+	}
+}
+
+func TestIndexSegmentClamping(t *testing.T) {
+	coll := indexCollection(t, 4, 5, 2)
+	idx, err := NewIndex(coll, 0) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.segments != 1 {
+		t.Errorf("segments = %d, want 1", idx.segments)
+	}
+	idx2, err := NewIndex(coll, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.segments != 5 {
+		t.Errorf("segments = %d, want 5 (series length)", idx2.segments)
+	}
+}

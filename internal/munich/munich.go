@@ -1,0 +1,425 @@
+// Package munich implements the probabilistic similarity matcher of Aßfalg
+// et al. (SSDBM 2009), which the paper calls MUNICH (Section 2.1).
+//
+// MUNICH models an uncertain series by repeated observations per timestamp.
+// Conceptually, the two series are materialised into every possible certain
+// series (one observation picked per timestamp), the Lp distance is computed
+// for every combination, and
+//
+//	Pr(distance(X, Y) <= eps) = |{d in dists(X,Y) : d <= eps}| / |dists(X,Y)|
+//
+// The naive materialisation has |dists| = sx^n * sy^n elements and is
+// infeasible; this package computes the count without materialising:
+//
+//   - exact, via meet-in-the-middle over the per-timestamp squared-difference
+//     multisets (the distance is a sum of independent per-timestamp terms, so
+//     combinations factor into two halves that are enumerated and merged);
+//   - approximate, via histogram convolution of the per-timestamp multisets,
+//     with resolution controlled by the bin count;
+//   - Monte Carlo, by sampling materialisations, usable with any inner
+//     distance including DTW.
+//
+// Upper/lower distance bounds from the per-timestamp minimal bounding
+// intervals provide the pruning step of the original paper: a candidate
+// whose upper bound is within eps is accepted without counting, one whose
+// lower bound exceeds eps is rejected without counting.
+package munich
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/stats"
+	"uncertts/internal/uncertain"
+)
+
+// Estimator selects how the distance-count probability is computed.
+type Estimator int
+
+const (
+	// EstimatorAuto picks Exact when the meet-in-the-middle enumeration
+	// stays within MaxExactCombos, Convolution otherwise.
+	EstimatorAuto Estimator = iota
+	// EstimatorExact forces the exact meet-in-the-middle count.
+	EstimatorExact
+	// EstimatorConvolution forces the histogram-convolution approximation.
+	EstimatorConvolution
+	// EstimatorMonteCarlo samples materialisations; required for DTW.
+	EstimatorMonteCarlo
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorAuto:
+		return "auto"
+	case EstimatorExact:
+		return "exact"
+	case EstimatorConvolution:
+		return "convolution"
+	case EstimatorMonteCarlo:
+		return "montecarlo"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
+// Options configures probability estimation.
+type Options struct {
+	// Estimator selects the counting strategy. Default EstimatorAuto.
+	Estimator Estimator
+	// MaxExactCombos caps the per-half enumeration size of the exact
+	// estimator (default 1<<21). Above the cap, Auto falls back to
+	// convolution.
+	MaxExactCombos int
+	// Bins is the histogram resolution of the convolution estimator
+	// (default 4096).
+	Bins int
+	// MonteCarloSamples is the number of sampled materialisation pairs
+	// (default 20000).
+	MonteCarloSamples int
+	// Seed drives the Monte Carlo estimator.
+	Seed int64
+	// UseDTW switches the inner distance from Euclidean to DTW. Only the
+	// Monte Carlo estimator supports it.
+	UseDTW bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxExactCombos <= 0 {
+		o.MaxExactCombos = 1 << 21
+	}
+	if o.Bins <= 0 {
+		o.Bins = 4096
+	}
+	if o.MonteCarloSamples <= 0 {
+		o.MonteCarloSamples = 20000
+	}
+	return o
+}
+
+// ErrNeedMonteCarlo is returned when a DTW probability is requested from a
+// counting estimator; the distance no longer decomposes per timestamp, so
+// only sampling applies.
+var ErrNeedMonteCarlo = errors.New("munich: DTW probabilities require EstimatorMonteCarlo")
+
+// Probability returns Pr(distance(X, Y) <= eps) under the MUNICH semantics.
+func Probability(x, y uncertain.SampleSeries, eps float64, opts Options) (float64, error) {
+	if err := x.Validate(); err != nil {
+		return 0, err
+	}
+	if err := y.Validate(); err != nil {
+		return 0, err
+	}
+	if x.Len() != y.Len() {
+		return 0, fmt.Errorf("munich: series lengths differ: %d vs %d", x.Len(), y.Len())
+	}
+	if eps < 0 {
+		return 0, nil
+	}
+	opts = opts.withDefaults()
+
+	if opts.UseDTW {
+		if opts.Estimator != EstimatorMonteCarlo && opts.Estimator != EstimatorAuto {
+			return 0, ErrNeedMonteCarlo
+		}
+		return monteCarloProbability(x, y, eps, opts)
+	}
+
+	switch opts.Estimator {
+	case EstimatorMonteCarlo:
+		return monteCarloProbability(x, y, eps, opts)
+	case EstimatorExact:
+		return exactProbability(x, y, eps, opts.MaxExactCombos)
+	case EstimatorConvolution:
+		return convolutionProbability(x, y, eps, opts.Bins)
+	default: // Auto
+		p, err := exactProbability(x, y, eps, opts.MaxExactCombos)
+		if err == nil {
+			return p, nil
+		}
+		return convolutionProbability(x, y, eps, opts.Bins)
+	}
+}
+
+// Bounds returns lower and upper bounds on every feasible Euclidean distance
+// between materialisations of x and y, derived from the per-timestamp
+// minimal bounding intervals (the pruning device of the original paper).
+func Bounds(x, y uncertain.SampleSeries) (lo, hi float64, err error) {
+	if err := x.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if err := y.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if x.Len() != y.Len() {
+		return 0, 0, fmt.Errorf("munich: series lengths differ: %d vs %d", x.Len(), y.Len())
+	}
+	var lo2, hi2 float64
+	for i := 0; i < x.Len(); i++ {
+		xlo, xhi := x.MinMaxAt(i)
+		ylo, yhi := y.MinMaxAt(i)
+		// Minimal possible |xi - yi| given the bounding intervals.
+		var dmin float64
+		switch {
+		case xlo > yhi:
+			dmin = xlo - yhi
+		case ylo > xhi:
+			dmin = ylo - xhi
+		default:
+			dmin = 0 // intervals overlap
+		}
+		// Maximal possible |xi - yi|.
+		dmax := math.Max(math.Abs(xhi-ylo), math.Abs(yhi-xlo))
+		lo2 += dmin * dmin
+		hi2 += dmax * dmax
+	}
+	return math.Sqrt(lo2), math.Sqrt(hi2), nil
+}
+
+// PruneDecision classifies a candidate against a range predicate using only
+// the distance bounds.
+type PruneDecision int
+
+const (
+	// PruneUnknown: the bounds straddle eps; the probability must be counted.
+	PruneUnknown PruneDecision = iota
+	// PruneAccept: every materialisation is within eps (probability 1).
+	PruneAccept
+	// PruneReject: no materialisation is within eps (probability 0).
+	PruneReject
+)
+
+// Prune applies the bounding-interval test.
+func Prune(x, y uncertain.SampleSeries, eps float64) (PruneDecision, error) {
+	lo, hi, err := Bounds(x, y)
+	if err != nil {
+		return PruneUnknown, err
+	}
+	switch {
+	case hi <= eps:
+		return PruneAccept, nil
+	case lo > eps:
+		return PruneReject, nil
+	default:
+		return PruneUnknown, nil
+	}
+}
+
+// squaredDiffMultiset returns the multiset of squared differences between
+// the observations of x and y at timestamp i.
+func squaredDiffMultiset(x, y uncertain.SampleSeries, i int) []float64 {
+	xs, ys := x.Samples[i], y.Samples[i]
+	out := make([]float64, 0, len(xs)*len(ys))
+	for _, a := range xs {
+		for _, b := range ys {
+			d := a - b
+			out = append(out, d*d)
+		}
+	}
+	return out
+}
+
+// exactProbability counts combinations with total squared distance <= eps^2
+// using meet-in-the-middle. If the enumeration would exceed maxCombos per
+// half it returns an error; EstimatorAuto callers fall back to convolution.
+func exactProbability(x, y uncertain.SampleSeries, eps float64, maxCombos int) (float64, error) {
+	n := x.Len()
+	multisets := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		multisets[i] = squaredDiffMultiset(x, y, i)
+	}
+	// Split so the two halves have balanced enumeration sizes.
+	split := n / 2
+	sizeA, okA := productSize(multisets[:split], maxCombos)
+	sizeB, okB := productSize(multisets[split:], maxCombos)
+	if !okA || !okB {
+		return 0, fmt.Errorf("munich: exact enumeration exceeds cap %d (halves %d x %d)", maxCombos, sizeA, sizeB)
+	}
+	sumsA := enumerateSums(multisets[:split])
+	sumsB := enumerateSums(multisets[split:])
+	sort.Float64s(sumsB)
+	eps2 := eps * eps
+	var count uint64
+	for _, a := range sumsA {
+		// Number of b with a + b <= eps^2.
+		idx := sort.SearchFloat64s(sumsB, math.Nextafter(eps2-a, math.Inf(1)))
+		count += uint64(idx)
+	}
+	total := uint64(len(sumsA)) * uint64(len(sumsB))
+	if total == 0 {
+		return 0, errors.New("munich: empty combination space")
+	}
+	return float64(count) / float64(total), nil
+}
+
+// productSize returns the product of multiset sizes, capped.
+func productSize(ms [][]float64, cap int) (int, bool) {
+	size := 1
+	for _, m := range ms {
+		size *= len(m)
+		if size > cap || size <= 0 {
+			return size, false
+		}
+	}
+	return size, true
+}
+
+// enumerateSums returns every sum formed by picking one element from each
+// multiset. An empty slice of multisets yields the single sum 0.
+func enumerateSums(ms [][]float64) []float64 {
+	sums := []float64{0}
+	for _, m := range ms {
+		next := make([]float64, 0, len(sums)*len(m))
+		for _, s := range sums {
+			for _, v := range m {
+				next = append(next, s+v)
+			}
+		}
+		sums = next
+	}
+	return sums
+}
+
+// convolutionProbability approximates the distribution of the total squared
+// distance by repeated histogram convolution and reads off the CDF at eps^2.
+func convolutionProbability(x, y uncertain.SampleSeries, eps float64, bins int) (float64, error) {
+	n := x.Len()
+	// Upper bound of the total squared distance fixes the histogram domain.
+	var maxSum float64
+	multisets := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m := squaredDiffMultiset(x, y, i)
+		multisets[i] = m
+		_, hi := stats.MinMax(m)
+		maxSum += hi
+	}
+	if maxSum == 0 {
+		// All materialisations coincide: distance 0 with probability 1.
+		if eps >= 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	width := maxSum / float64(bins)
+	probs := make([]float64, bins)
+	probs[0] = 1
+	next := make([]float64, bins)
+	for _, m := range multisets {
+		for i := range next {
+			next[i] = 0
+		}
+		w := 1 / float64(len(m))
+		for j, p := range probs {
+			if p == 0 {
+				continue
+			}
+			base := (float64(j) + 0.5) * width
+			for _, v := range m {
+				idx := int((base + v) / width)
+				if idx >= bins {
+					idx = bins - 1
+				}
+				next[idx] += p * w
+			}
+		}
+		probs, next = next, probs
+	}
+	eps2 := eps * eps
+	var acc float64
+	for j, p := range probs {
+		upper := (float64(j) + 1) * width
+		if upper <= eps2 {
+			acc += p
+			continue
+		}
+		lower := float64(j) * width
+		if lower < eps2 {
+			// Partial bin: assume mass uniform within the bin.
+			acc += p * (eps2 - lower) / width
+		}
+		break
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc, nil
+}
+
+// monteCarloProbability samples materialisation pairs uniformly and returns
+// the fraction within eps. It supports both Euclidean and DTW inner
+// distances.
+func monteCarloProbability(x, y uncertain.SampleSeries, eps float64, opts Options) (float64, error) {
+	rng := stats.SplitRand(opts.Seed, int64(x.ID)<<20|int64(y.ID))
+	n := x.Len()
+	bufX := make([]float64, n)
+	bufY := make([]float64, n)
+	hits := 0
+	for s := 0; s < opts.MonteCarloSamples; s++ {
+		for i := 0; i < n; i++ {
+			bufX[i] = x.Samples[i][rng.Intn(len(x.Samples[i]))]
+			bufY[i] = y.Samples[i][rng.Intn(len(y.Samples[i]))]
+		}
+		var d float64
+		var err error
+		if opts.UseDTW {
+			d, err = distance.DTW(bufX, bufY)
+		} else {
+			d, err = distance.Euclidean(bufX, bufY)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if d <= eps {
+			hits++
+		}
+	}
+	return float64(hits) / float64(opts.MonteCarloSamples), nil
+}
+
+// Matcher answers probabilistic range queries PRQ(Q, C, eps, tau) over
+// sample-model uncertain series (Equation 2 of the paper).
+type Matcher struct {
+	// Eps is the distance threshold.
+	Eps float64
+	// Tau is the probability threshold.
+	Tau float64
+	// Opts configures probability estimation.
+	Opts Options
+}
+
+// Matches reports whether Pr(distance(q, c) <= Eps) >= Tau, applying the
+// bounding-interval pruning before any counting.
+func (m Matcher) Matches(q, c uncertain.SampleSeries) (bool, error) {
+	switch dec, err := Prune(q, c, m.Eps); {
+	case err != nil:
+		return false, err
+	case dec == PruneAccept:
+		return true, nil
+	case dec == PruneReject:
+		return false, nil
+	}
+	p, err := Probability(q, c, m.Eps, m.Opts)
+	if err != nil {
+		return false, err
+	}
+	return p >= m.Tau, nil
+}
+
+// RangeQuery returns the IDs of all series in the collection that match the
+// probabilistic range predicate against q.
+func (m Matcher) RangeQuery(q uncertain.SampleSeries, collection []uncertain.SampleSeries) ([]int, error) {
+	var out []int
+	for _, c := range collection {
+		ok, err := m.Matches(q, c)
+		if err != nil {
+			return nil, fmt.Errorf("munich: candidate %d: %w", c.ID, err)
+		}
+		if ok {
+			out = append(out, c.ID)
+		}
+	}
+	return out, nil
+}

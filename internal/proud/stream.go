@@ -1,0 +1,163 @@
+package proud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stream evaluates the PROUD acceptance test incrementally, the way the
+// original system consumed streaming time series: per-timestamp
+// observations arrive one at a time, the distance moments accumulate, and
+// the predicate can be decided — sometimes early — without buffering the
+// whole series.
+//
+// Early termination is sound, not heuristic: every future timestamp
+// contributes at least varD = qSigma^2 + cSigma^2 to E[dist^2] and a
+// non-negative amount to Var[dist^2]. For tau >= 0.5 (eps_limit >= 0) this
+// yields a certain-reject test before the stream ends; a certain-accept
+// requires an upper bound on the remaining observation gap, which the
+// caller can supply if the data is bounded.
+type Stream struct {
+	eps      float64
+	tau      float64
+	epsLimit float64
+	total    int // expected stream length
+	varD     float64
+
+	seen     int
+	mean     float64
+	variance float64
+}
+
+// NewStream returns a streaming PROUD evaluator for a query/candidate pair
+// of the given length, with the constant error standard deviations PROUD is
+// told for the two sides.
+func NewStream(eps, tau float64, length int, qSigma, cSigma float64) (*Stream, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("proud: stream length %d must be positive", length)
+	}
+	if qSigma < 0 || cSigma < 0 {
+		return nil, fmt.Errorf("proud: negative sigma (query %v, candidate %v)", qSigma, cSigma)
+	}
+	limit, err := EpsLimit(tau)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		eps:      eps,
+		tau:      tau,
+		epsLimit: limit,
+		total:    length,
+		varD:     qSigma*qSigma + cSigma*cSigma,
+	}, nil
+}
+
+// ErrStreamComplete is returned by Push after the declared length has been
+// consumed.
+var ErrStreamComplete = errors.New("proud: stream already complete")
+
+// Push consumes the next pair of observations.
+func (s *Stream) Push(qObs, cObs float64) error {
+	if s.seen >= s.total {
+		return ErrStreamComplete
+	}
+	mu := qObs - cObs
+	s.mean += mu*mu + s.varD
+	s.variance += 2*s.varD*s.varD + 4*s.varD*mu*mu
+	s.seen++
+	return nil
+}
+
+// Seen reports how many timestamps have been consumed.
+func (s *Stream) Seen() int { return s.seen }
+
+// Complete reports whether the whole stream has been consumed.
+func (s *Stream) Complete() bool { return s.seen >= s.total }
+
+// Decision is the tri-state outcome of a streaming predicate check.
+type Decision int
+
+const (
+	// Undecided: the outcome still depends on unseen data.
+	Undecided Decision = iota
+	// Accept: the pair satisfies the probabilistic range predicate.
+	Accept
+	// Reject: the pair fails the predicate.
+	Reject
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	case Undecided:
+		return "undecided"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Decide returns the final decision once the stream is complete, or an
+// early certain decision if one is already forced. With data still pending
+// and no forced outcome it returns Undecided.
+func (s *Stream) Decide() Decision {
+	if s.Complete() {
+		d := DistanceDist{Mean: s.mean, Variance: s.variance}
+		if d.EpsNorm(s.eps) >= s.epsLimit {
+			return Accept
+		}
+		return Reject
+	}
+	return s.earlyDecision()
+}
+
+// earlyDecision applies the sound bounds for incomplete streams.
+func (s *Stream) earlyDecision() Decision {
+	remaining := float64(s.total - s.seen)
+	// Every remaining timestamp adds at least varD to the mean and at
+	// least 2 varD^2 to the variance.
+	minMean := s.mean + remaining*s.varD
+	minVar := s.variance + remaining*2*s.varD*s.varD
+
+	if s.epsLimit >= 0 {
+		// Accept requires eps^2 - E >= epsLimit * sd with both sides'
+		// eventual values unknown, but E only grows and sd only grows.
+		// If already eps^2 - minMean < epsLimit * sqrt(minVar), the left
+		// side can only shrink further and the right side only grow, so
+		// reject is certain.
+		if s.eps*s.eps-minMean < s.epsLimit*math.Sqrt(minVar) {
+			return Reject
+		}
+		return Undecided
+	}
+	// For epsLimit < 0 the right side is negative and grows in magnitude
+	// with sd, so no certain decision is available without a bound on the
+	// remaining per-timestamp gaps.
+	return Undecided
+}
+
+// RunStream pushes two full observation vectors through a fresh stream and
+// returns the decision, the number of timestamps consumed before the
+// decision became certain, and any error. It is the batch convenience and
+// the reference for the early-stopping tests.
+func RunStream(qObs, cObs []float64, eps, tau, qSigma, cSigma float64) (Decision, int, error) {
+	if len(qObs) != len(cObs) {
+		return Undecided, 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(qObs), len(cObs))
+	}
+	s, err := NewStream(eps, tau, len(qObs), qSigma, cSigma)
+	if err != nil {
+		return Undecided, 0, err
+	}
+	for i := range qObs {
+		if err := s.Push(qObs[i], cObs[i]); err != nil {
+			return Undecided, 0, err
+		}
+		if d := s.Decide(); d != Undecided {
+			return d, s.Seen(), nil
+		}
+	}
+	return s.Decide(), s.Seen(), nil
+}

@@ -1,0 +1,149 @@
+package proud
+
+import (
+	"testing"
+
+	"uncertts/internal/stats"
+)
+
+func TestStreamMatchesBatchDecision(t *testing.T) {
+	// The streaming decision at completion must equal the batch Matcher.
+	rng := stats.NewRand(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(24)
+		q := make([]float64, n)
+		c := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64() * 1.2
+		}
+		eps := 1 + rng.Float64()*6
+		tau := 0.05 + rng.Float64()*0.9
+		sigma := 0.2 + rng.Float64()
+
+		m := Matcher{Eps: eps, Tau: tau, QuerySigma: sigma, CandSigma: sigma}
+		want, err := m.Matches(q, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunStream(q, c, eps, tau, sigma, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD := Reject
+		if want {
+			wantD = Accept
+		}
+		if got != wantD {
+			t.Fatalf("trial %d: stream says %v, batch says %v", trial, got, wantD)
+		}
+	}
+}
+
+func TestStreamEarlyRejectIsSoundAndUseful(t *testing.T) {
+	// A pair that is wildly far apart should be rejected before the end of
+	// the stream (tau >= 0.5 enables the certain-reject bound), and the
+	// early decision must agree with the full evaluation.
+	n := 100
+	q := make([]float64, n)
+	c := make([]float64, n)
+	for i := range q {
+		c[i] = 10 // enormous gap at every timestamp
+	}
+	d, seen, err := RunStream(q, c, 2.0, 0.7, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Reject {
+		t.Fatalf("distant pair not rejected: %v", d)
+	}
+	if seen >= n {
+		t.Errorf("no early stopping: consumed %d of %d", seen, n)
+	}
+	// Batch agreement.
+	m := Matcher{Eps: 2.0, Tau: 0.7, QuerySigma: 0.3, CandSigma: 0.3}
+	ok, err := m.Matches(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("batch evaluation disagrees with early reject")
+	}
+}
+
+func TestStreamNoEarlyDecisionForSmallTau(t *testing.T) {
+	// With tau < 0.5 (negative eps_limit) the certain-reject bound does
+	// not apply; the stream must stay undecided until complete.
+	n := 50
+	q := make([]float64, n)
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 5
+	}
+	s, err := NewStream(1, 0.1, n, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := s.Push(q[i], c[i]); err != nil {
+			t.Fatal(err)
+		}
+		if d := s.Decide(); d != Undecided {
+			t.Fatalf("premature decision %v at %d with tau=0.1", d, i)
+		}
+	}
+	if err := s.Push(q[n-1], c[n-1]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Decide() == Undecided {
+		t.Error("complete stream must decide")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream(1, 0.5, 0, 1, 1); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := NewStream(1, 0.5, 5, -1, 1); err == nil {
+		t.Error("negative sigma should error")
+	}
+	if _, err := NewStream(1, 0, 5, 1, 1); err == nil {
+		t.Error("tau=0 should error")
+	}
+	s, err := NewStream(1, 0.5, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(0, 0); err == nil {
+		t.Error("pushing past the declared length should error")
+	}
+	if _, _, err := RunStream([]float64{1}, []float64{1, 2}, 1, 0.5, 1, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Accept.String() != "accept" || Reject.String() != "reject" || Undecided.String() != "undecided" {
+		t.Error("Decision.String broken")
+	}
+	if Decision(9).String() == "" {
+		t.Error("unknown decision should stringify")
+	}
+}
+
+func TestStreamIdenticalSeriesAccepted(t *testing.T) {
+	// Identical observations with a generous eps must be accepted at
+	// moderate tau.
+	n := 30
+	q := make([]float64, n)
+	d, _, err := RunStream(q, q, 10, 0.5, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Accept {
+		t.Errorf("identical pair with huge eps: %v", d)
+	}
+}

@@ -1,0 +1,230 @@
+// Package query provides the similarity-matching task machinery of Section
+// 4.1.2: ground-truth range queries over exact series, k-nearest-neighbour
+// scans for threshold calibration, and the precision / recall / F1 metrics
+// (Equation 14) used to score every technique.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/timeseries"
+)
+
+// Metrics holds precision, recall and their F1 combination.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TruePositives, FalsePositives and FalseNegatives expose the raw
+	// confusion counts behind the ratios.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Evaluate compares a result set against the ground truth (both sets of
+// series IDs) and returns the metrics. Conventions for degenerate cases:
+// empty truth and empty result is perfect (all ones); empty result against
+// non-empty truth has recall 0; precision of an empty result is defined as
+// 0 unless the truth is empty too.
+func Evaluate(result, truth []int) Metrics {
+	rset := make(map[int]bool, len(result))
+	for _, id := range result {
+		rset[id] = true
+	}
+	tset := make(map[int]bool, len(truth))
+	for _, id := range truth {
+		tset[id] = true
+	}
+	var tp, fp, fn int
+	for id := range rset {
+		if tset[id] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for id := range tset {
+		if !rset[id] {
+			fn++
+		}
+	}
+	m := Metrics{TruePositives: tp, FalsePositives: fp, FalseNegatives: fn}
+	switch {
+	case len(rset) == 0 && len(tset) == 0:
+		m.Precision, m.Recall, m.F1 = 1, 1, 1
+		return m
+	case len(rset) == 0:
+		return m // all zeros
+	case len(tset) == 0:
+		return m
+	}
+	m.Precision = float64(tp) / float64(tp+fp)
+	m.Recall = float64(tp) / float64(tp+fn)
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Neighbor pairs a series ID with its distance from a query.
+type Neighbor struct {
+	ID       int
+	Distance float64
+}
+
+// NearestNeighbors returns the k nearest series to q in the collection
+// under Euclidean distance, excluding the series with q's own ID, sorted by
+// ascending distance (ties broken by ID for determinism).
+func NearestNeighbors(q timeseries.Series, collection []timeseries.Series, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k = %d must be positive", k)
+	}
+	neighbors := make([]Neighbor, 0, len(collection))
+	for _, c := range collection {
+		if c.ID == q.ID {
+			continue
+		}
+		d, err := distance.Euclidean(q.Values, c.Values)
+		if err != nil {
+			return nil, fmt.Errorf("query: neighbour %d: %w", c.ID, err)
+		}
+		neighbors = append(neighbors, Neighbor{ID: c.ID, Distance: d})
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].Distance != neighbors[j].Distance {
+			return neighbors[i].Distance < neighbors[j].Distance
+		}
+		return neighbors[i].ID < neighbors[j].ID
+	})
+	if k > len(neighbors) {
+		k = len(neighbors)
+	}
+	return neighbors[:k], nil
+}
+
+// KthNeighborDistance returns the distance to the k-th nearest neighbour of
+// q; this is how the paper calibrates the per-query threshold eps ("we
+// identify the 10th nearest neighbor of q in C ... we define eps_eucl as the
+// Euclidean distance ... between q and c").
+func KthNeighborDistance(q timeseries.Series, collection []timeseries.Series, k int) (float64, error) {
+	nn, err := NearestNeighbors(q, collection, k)
+	if err != nil {
+		return 0, err
+	}
+	if len(nn) < k {
+		return 0, fmt.Errorf("query: collection has only %d candidates, need %d", len(nn), k)
+	}
+	return nn[k-1].Distance, nil
+}
+
+// RangeQuery returns the IDs of all series within eps of q under Euclidean
+// distance, excluding q's own ID. Applied to the exact (unperturbed) series
+// it produces the ground-truth answer set of Section 4.1.2.
+func RangeQuery(q timeseries.Series, collection []timeseries.Series, eps float64) ([]int, error) {
+	if math.IsNaN(eps) || eps < 0 {
+		return nil, errors.New("query: eps must be non-negative")
+	}
+	var out []int
+	eps2 := eps * eps
+	for _, c := range collection {
+		if c.ID == q.ID {
+			continue
+		}
+		d2, err := distance.SquaredEuclidean(q.Values, c.Values)
+		if err != nil {
+			return nil, fmt.Errorf("query: candidate %d: %w", c.ID, err)
+		}
+		if d2 <= eps2 {
+			out = append(out, c.ID)
+		}
+	}
+	return out, nil
+}
+
+// RangeQueryFunc runs a range query with an arbitrary distance function
+// over opaque items; used to express every distance-based technique
+// (Euclidean, DUST, UMA, UEMA) as the same task.
+func RangeQueryFunc(n int, queryID int, dist func(i int) (float64, error), eps float64) ([]int, error) {
+	if math.IsNaN(eps) || eps < 0 {
+		return nil, errors.New("query: eps must be non-negative")
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if i == queryID {
+			continue
+		}
+		d, err := dist(i)
+		if err != nil {
+			return nil, fmt.Errorf("query: candidate %d: %w", i, err)
+		}
+		if d <= eps {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// TopK returns the k items with smallest distance according to dist,
+// excluding queryID, ties broken by index.
+func TopK(n int, queryID int, dist func(i int) (float64, error), k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k = %d must be positive", k)
+	}
+	neighbors := make([]Neighbor, 0, n)
+	for i := 0; i < n; i++ {
+		if i == queryID {
+			continue
+		}
+		d, err := dist(i)
+		if err != nil {
+			return nil, fmt.Errorf("query: candidate %d: %w", i, err)
+		}
+		neighbors = append(neighbors, Neighbor{ID: i, Distance: d})
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].Distance != neighbors[j].Distance {
+			return neighbors[i].Distance < neighbors[j].Distance
+		}
+		return neighbors[i].ID < neighbors[j].ID
+	})
+	if k > len(neighbors) {
+		k = len(neighbors)
+	}
+	return neighbors[:k], nil
+}
+
+// AverageMetrics averages a slice of Metrics component-wise; experiments
+// aggregate per-query metrics this way before plotting.
+func AverageMetrics(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.F1 += m.F1
+		out.TruePositives += m.TruePositives
+		out.FalsePositives += m.FalsePositives
+		out.FalseNegatives += m.FalseNegatives
+	}
+	n := float64(len(ms))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}
+
+// F1s extracts the F1 column, for confidence-interval computation.
+func F1s(ms []Metrics) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.F1
+	}
+	return out
+}

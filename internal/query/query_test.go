@@ -1,0 +1,238 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uncertts/internal/timeseries"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestEvaluateKnownCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		result, truth  []int
+		p, r, f1       float64
+		tp, fpos, fneg int
+	}{
+		{"perfect", []int{1, 2, 3}, []int{1, 2, 3}, 1, 1, 1, 3, 0, 0},
+		{"half precision", []int{1, 2, 3, 4}, []int{1, 2}, 0.5, 1, 2.0 / 3, 2, 2, 0},
+		{"half recall", []int{1}, []int{1, 2}, 1, 0.5, 2.0 / 3, 1, 0, 1},
+		{"disjoint", []int{1}, []int{2}, 0, 0, 0, 0, 1, 1},
+		{"both empty", nil, nil, 1, 1, 1, 0, 0, 0},
+		{"empty result", nil, []int{1}, 0, 0, 0, 0, 0, 1},
+		{"empty truth", []int{1}, nil, 0, 0, 0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		m := Evaluate(c.result, c.truth)
+		if !almostEqual(m.Precision, c.p, 1e-12) || !almostEqual(m.Recall, c.r, 1e-12) || !almostEqual(m.F1, c.f1, 1e-12) {
+			t.Errorf("%s: got p=%v r=%v f1=%v, want p=%v r=%v f1=%v",
+				c.name, m.Precision, m.Recall, m.F1, c.p, c.r, c.f1)
+		}
+		if m.TruePositives != c.tp || m.FalsePositives != c.fpos || m.FalseNegatives != c.fneg {
+			t.Errorf("%s: counts tp=%d fp=%d fn=%d, want %d/%d/%d",
+				c.name, m.TruePositives, m.FalsePositives, m.FalseNegatives, c.tp, c.fpos, c.fneg)
+		}
+	}
+}
+
+func TestEvaluateDeduplicates(t *testing.T) {
+	m := Evaluate([]int{1, 1, 1}, []int{1})
+	if m.F1 != 1 {
+		t.Errorf("duplicate IDs should collapse: %+v", m)
+	}
+}
+
+func TestEvaluateF1IsHarmonicMean(t *testing.T) {
+	f := func(result, truth []int8) bool {
+		r := make([]int, len(result))
+		for i, v := range result {
+			r[i] = int(v)
+		}
+		tr := make([]int, len(truth))
+		for i, v := range truth {
+			tr[i] = int(v)
+		}
+		m := Evaluate(r, tr)
+		if m.Precision+m.Recall == 0 {
+			return m.F1 == 0 || (len(r) == 0 && len(tr) == 0)
+		}
+		want := 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		return almostEqual(m.F1, want, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkCollection() []timeseries.Series {
+	mk := func(id int, vals ...float64) timeseries.Series {
+		s := timeseries.New(vals)
+		s.ID = id
+		return s
+	}
+	return []timeseries.Series{
+		mk(0, 0, 0),
+		mk(1, 1, 0),
+		mk(2, 0, 2),
+		mk(3, 3, 4),
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	coll := mkCollection()
+	nn, err := NearestNeighbors(coll[0], coll, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 || nn[0].ID != 1 || nn[1].ID != 2 {
+		t.Errorf("nn = %+v, want ids 1 then 2", nn)
+	}
+	if !almostEqual(nn[0].Distance, 1, 1e-12) || !almostEqual(nn[1].Distance, 2, 1e-12) {
+		t.Errorf("distances = %v, %v", nn[0].Distance, nn[1].Distance)
+	}
+	// Self excluded even when k exceeds the collection.
+	all, err := NearestNeighbors(coll[0], coll, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("want 3 neighbours, got %d", len(all))
+	}
+	if _, err := NearestNeighbors(coll[0], coll, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestKthNeighborDistance(t *testing.T) {
+	coll := mkCollection()
+	d, err := KthNeighborDistance(coll[0], coll, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 5, 1e-12) {
+		t.Errorf("3rd NN distance = %v, want 5", d)
+	}
+	if _, err := KthNeighborDistance(coll[0], coll, 5); err == nil {
+		t.Error("k beyond collection should error")
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	coll := mkCollection()
+	got, err := RangeQuery(coll[0], coll, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("range query = %v, want [1 2]", got)
+	}
+	// eps exactly at a distance includes the boundary.
+	got, err = RangeQuery(coll[0], coll, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("boundary eps should include the exact hit: %v", got)
+	}
+	if _, err := RangeQuery(coll[0], coll, -1); err == nil {
+		t.Error("negative eps should error")
+	}
+	if _, err := RangeQuery(coll[0], coll, math.NaN()); err == nil {
+		t.Error("NaN eps should error")
+	}
+}
+
+func TestRangeQueryLengthMismatch(t *testing.T) {
+	coll := mkCollection()
+	bad := timeseries.New([]float64{1, 2, 3})
+	bad.ID = 9
+	if _, err := RangeQuery(bad, coll, 1); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestRangeQueryFunc(t *testing.T) {
+	dist := func(i int) (float64, error) { return float64(i), nil }
+	got, err := RangeQueryFunc(5, 0, dist, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got %v, want [1 2]", got)
+	}
+	failing := func(i int) (float64, error) { return 0, errors.New("boom") }
+	if _, err := RangeQueryFunc(3, 0, failing, 1); err == nil {
+		t.Error("distance errors should propagate")
+	}
+	if _, err := RangeQueryFunc(3, 0, dist, -1); err == nil {
+		t.Error("negative eps should error")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	dist := func(i int) (float64, error) { return float64((i * 7) % 5), nil }
+	got, err := TopK(5, 0, dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// distances: 1->2, 2->4, 3->1, 4->3. Top2: 3 (d=1), 1 (d=2).
+	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 1 {
+		t.Errorf("topk = %+v", got)
+	}
+	if _, err := TopK(5, 0, dist, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	over, err := TopK(3, 0, dist, 10)
+	if err != nil || len(over) != 2 {
+		t.Errorf("k over n should clamp: %v %v", over, err)
+	}
+	failing := func(i int) (float64, error) { return 0, errors.New("boom") }
+	if _, err := TopK(3, 0, failing, 1); err == nil {
+		t.Error("distance errors should propagate")
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	dist := func(i int) (float64, error) { return 1, nil }
+	a, _ := TopK(6, 0, dist, 3)
+	b, _ := TopK(6, 0, dist, 3)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("tied results must be deterministic")
+		}
+	}
+	if a[0].ID != 1 || a[1].ID != 2 || a[2].ID != 3 {
+		t.Errorf("ties should break by ID: %+v", a)
+	}
+}
+
+func TestAverageMetrics(t *testing.T) {
+	ms := []Metrics{
+		{Precision: 1, Recall: 0.5, F1: 2.0 / 3, TruePositives: 1},
+		{Precision: 0.5, Recall: 1, F1: 2.0 / 3, TruePositives: 3},
+	}
+	avg := AverageMetrics(ms)
+	if !almostEqual(avg.Precision, 0.75, 1e-12) || !almostEqual(avg.Recall, 0.75, 1e-12) {
+		t.Errorf("avg = %+v", avg)
+	}
+	if avg.TruePositives != 4 {
+		t.Errorf("counts should sum: %d", avg.TruePositives)
+	}
+	if got := AverageMetrics(nil); got.F1 != 0 {
+		t.Errorf("empty average = %+v", got)
+	}
+}
+
+func TestF1s(t *testing.T) {
+	ms := []Metrics{{F1: 0.5}, {F1: 1}}
+	f1 := F1s(ms)
+	if len(f1) != 2 || f1[0] != 0.5 || f1[1] != 1 {
+		t.Errorf("F1s = %v", f1)
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareResult is the outcome of a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	Statistic float64 // the chi-square statistic
+	DF        int     // degrees of freedom
+	PValue    float64 // upper-tail probability
+}
+
+// Reject reports whether the null hypothesis is rejected at significance
+// level alpha (e.g. 0.01, the level used in Section 4.1.1 of the paper).
+func (r ChiSquareResult) Reject(alpha float64) bool {
+	return r.PValue < alpha
+}
+
+func (r ChiSquareResult) String() string {
+	return fmt.Sprintf("chi2=%.4g df=%d p=%.4g", r.Statistic, r.DF, r.PValue)
+}
+
+// ChiSquareGoF runs a chi-square goodness-of-fit test of the observed counts
+// against the expected counts. Expected entries must be positive. Degrees of
+// freedom are len(observed)-1-params, where params is the number of
+// parameters of the hypothesised distribution that were estimated from the
+// data.
+func ChiSquareGoF(observed []int, expected []float64, params int) (ChiSquareResult, error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareGoF: mismatched inputs (%d observed, %d expected)", len(observed), len(expected))
+	}
+	df := len(observed) - 1 - params
+	if df < 1 {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareGoF: non-positive degrees of freedom %d", df)
+	}
+	var stat float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareGoF: expected count in bin %d is %v, must be positive", i, e)
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	cdf, err := ChiSquareCDF(stat, df)
+	if err != nil {
+		return ChiSquareResult{}, err
+	}
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: 1 - cdf}, nil
+}
+
+// ChiSquareUniformTest tests whether the observations xs are drawn from the
+// uniform distribution over [min(xs), max(xs)], binning the data into the
+// given number of equal-width bins. This mirrors the check in Section 4.1.1:
+// DUST assumes uniformly distributed series values, and the paper rejects
+// that hypothesis on all 17 datasets at alpha = 0.01.
+//
+// Two parameters (the range endpoints) are treated as estimated from the
+// data, so df = bins - 3.
+func ChiSquareUniformTest(xs []float64, bins int) (ChiSquareResult, error) {
+	if len(xs) < 5*bins {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniformTest: need at least %d observations for %d bins, got %d", 5*bins, bins, len(xs))
+	}
+	lo, hi := MinMax(xs)
+	if !(hi > lo) {
+		return ChiSquareResult{}, fmt.Errorf("stats: ChiSquareUniformTest: degenerate data range [%v, %v]", lo, hi)
+	}
+	h := NewHistogram(lo, hi, bins)
+	h.AddAll(xs)
+	expected := make([]float64, bins)
+	per := float64(len(xs)) / float64(bins)
+	for i := range expected {
+		expected[i] = per
+	}
+	return ChiSquareGoF(h.Counts, expected, 2)
+}
+
+// KolmogorovSmirnov returns the one-sample KS statistic of xs against the
+// hypothesised distribution d: the supremum distance between the empirical
+// CDF and d's CDF. It complements the chi-square test for continuous data.
+func KolmogorovSmirnov(xs []float64, d Dist) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	insertionOrQuickSort(sorted)
+	n := float64(len(sorted))
+	var sup float64
+	for i, x := range sorted {
+		c := d.CDF(x)
+		above := math.Abs(float64(i+1)/n - c)
+		below := math.Abs(c - float64(i)/n)
+		if above > sup {
+			sup = above
+		}
+		if below > sup {
+			sup = below
+		}
+	}
+	return sup
+}
+
+// insertionOrQuickSort sorts in place. Small inputs use insertion sort to
+// avoid the sort.Float64s interface overhead in hot loops.
+func insertionOrQuickSort(xs []float64) {
+	if len(xs) <= 32 {
+		for i := 1; i < len(xs); i++ {
+			v := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > v {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = v
+		}
+		return
+	}
+	quickSortFloats(xs)
+}
+
+func quickSortFloats(xs []float64) {
+	for len(xs) > 32 {
+		// Median-of-three pivot.
+		mid := len(xs) / 2
+		last := len(xs) - 1
+		if xs[mid] < xs[0] {
+			xs[mid], xs[0] = xs[0], xs[mid]
+		}
+		if xs[last] < xs[0] {
+			xs[last], xs[0] = xs[0], xs[last]
+		}
+		if xs[last] < xs[mid] {
+			xs[last], xs[mid] = xs[mid], xs[last]
+		}
+		pivot := xs[mid]
+		i, j := 0, last
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(xs)-i {
+			quickSortFloats(xs[:j+1])
+			xs = xs[i:]
+		} else {
+			quickSortFloats(xs[i:])
+			xs = xs[:j+1]
+		}
+	}
+	insertionOrQuickSort(xs)
+}

@@ -1,0 +1,167 @@
+// Package stream provides continuous similarity monitoring over uncertain
+// data streams — the deployment scenario PROUD was designed for (Yeh et
+// al., EDBT 2009): reference patterns are registered once, uncertain
+// observations arrive one timestamp at a time, and the monitor reports, per
+// epoch, which patterns probabilistically match the stream.
+//
+// Internally every (stream, pattern) pair runs a proud.Stream evaluator,
+// so decisions can fire before an epoch completes whenever the sound
+// early-termination bound applies.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"uncertts/internal/proud"
+)
+
+// Pattern is a registered reference series with its matching thresholds.
+type Pattern struct {
+	// ID identifies the pattern in emitted events.
+	ID int
+	// Values is the reference observation sequence; its length defines the
+	// epoch length for this pattern.
+	Values []float64
+	// Eps is the Euclidean distance threshold.
+	Eps float64
+	// Tau is the probability threshold in (0, 1).
+	Tau float64
+}
+
+// Event reports a decision for one pattern on one stream.
+type Event struct {
+	// StreamID and PatternID identify the pair.
+	StreamID  int
+	PatternID int
+	// Decision is Accept or Reject (Undecided is never emitted).
+	Decision proud.Decision
+	// Timestamp is the stream position (0-based within the epoch) at which
+	// the decision became certain; len(pattern)-1 for end-of-epoch
+	// decisions, earlier for early terminations.
+	Timestamp int
+	// Early reports whether the decision fired before the epoch completed.
+	Early bool
+}
+
+// Monitor matches registered patterns against uncertain streams.
+type Monitor struct {
+	// QuerySigma and StreamSigma are the constant error standard
+	// deviations reported for the patterns and the streams.
+	QuerySigma  float64
+	StreamSigma float64
+
+	patterns []Pattern
+	states   map[int][]*patternState // stream ID -> one state per pattern
+}
+
+type patternState struct {
+	s       *proud.Stream
+	pos     int
+	decided bool
+}
+
+// NewMonitor returns a Monitor with the given reported error levels.
+func NewMonitor(querySigma, streamSigma float64) (*Monitor, error) {
+	if querySigma < 0 || streamSigma < 0 {
+		return nil, fmt.Errorf("stream: negative sigma (query %v, stream %v)", querySigma, streamSigma)
+	}
+	return &Monitor{
+		QuerySigma:  querySigma,
+		StreamSigma: streamSigma,
+		states:      make(map[int][]*patternState),
+	}, nil
+}
+
+// Register adds a pattern. Patterns must be registered before the first
+// Push; registering later returns an error to keep epoch alignment simple.
+func (m *Monitor) Register(p Pattern) error {
+	if len(p.Values) == 0 {
+		return errors.New("stream: empty pattern")
+	}
+	if p.Tau <= 0 || p.Tau >= 1 {
+		return fmt.Errorf("stream: pattern %d: tau %v outside (0, 1)", p.ID, p.Tau)
+	}
+	if p.Eps < 0 {
+		return fmt.Errorf("stream: pattern %d: negative eps %v", p.ID, p.Eps)
+	}
+	if len(m.states) != 0 {
+		return errors.New("stream: cannot register patterns after pushing data")
+	}
+	m.patterns = append(m.patterns, p)
+	return nil
+}
+
+// Patterns returns the number of registered patterns.
+func (m *Monitor) Patterns() int { return len(m.patterns) }
+
+// Push consumes the next observation of the given stream and returns any
+// decisions that became certain at this timestamp. When a pattern's epoch
+// completes (or decides early), its evaluator restarts on the next
+// timestamp, so matching is per consecutive epoch.
+func (m *Monitor) Push(streamID int, value float64) ([]Event, error) {
+	if len(m.patterns) == 0 {
+		return nil, errors.New("stream: no patterns registered")
+	}
+	states, ok := m.states[streamID]
+	if !ok {
+		states = make([]*patternState, len(m.patterns))
+		m.states[streamID] = states
+	}
+	var events []Event
+	for pi, p := range m.patterns {
+		st := states[pi]
+		if st == nil || st.pos >= len(p.Values) {
+			ps, err := proud.NewStream(p.Eps, p.Tau, len(p.Values), m.QuerySigma, m.StreamSigma)
+			if err != nil {
+				return nil, fmt.Errorf("stream: pattern %d: %w", p.ID, err)
+			}
+			st = &patternState{s: ps}
+			states[pi] = st
+		}
+		if err := st.s.Push(p.Values[st.pos], value); err != nil {
+			return nil, fmt.Errorf("stream: pattern %d: %w", p.ID, err)
+		}
+		pos := st.pos
+		st.pos++
+		if st.decided {
+			// Early decision already emitted for this epoch; drain until
+			// the epoch boundary.
+			if st.pos >= len(p.Values) {
+				states[pi] = nil
+			}
+			continue
+		}
+		d := st.s.Decide()
+		if d == proud.Undecided {
+			continue
+		}
+		events = append(events, Event{
+			StreamID:  streamID,
+			PatternID: p.ID,
+			Decision:  d,
+			Timestamp: pos,
+			Early:     !st.s.Complete(),
+		})
+		if st.s.Complete() {
+			states[pi] = nil // fresh epoch next push
+		} else {
+			st.decided = true
+		}
+	}
+	return events, nil
+}
+
+// PushBatch pushes a whole slice of observations and concatenates the
+// emitted events.
+func (m *Monitor) PushBatch(streamID int, values []float64) ([]Event, error) {
+	var all []Event
+	for _, v := range values {
+		ev, err := m.Push(streamID, v)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ev...)
+	}
+	return all, nil
+}

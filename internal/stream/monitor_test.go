@@ -1,0 +1,231 @@
+package stream
+
+import (
+	"testing"
+
+	"uncertts/internal/proud"
+	"uncertts/internal/stats"
+)
+
+func newTestMonitor(t *testing.T, patterns ...Pattern) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range patterns {
+		if err := m.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestMonitorMatchesIdenticalEpoch(t *testing.T) {
+	ref := []float64{0, 1, 2, 1, 0, -1, -2, -1}
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 5, Tau: 0.5})
+	events, err := m.PushBatch(7, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("want exactly one decision per epoch, got %d", len(events))
+	}
+	e := events[0]
+	if e.Decision != proud.Accept || e.StreamID != 7 || e.PatternID != 1 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Timestamp != len(ref)-1 && !e.Early {
+		t.Errorf("non-early decision should land on the epoch boundary: %+v", e)
+	}
+}
+
+func TestMonitorRejectsDistantStream(t *testing.T) {
+	ref := make([]float64, 10)
+	far := make([]float64, 10)
+	for i := range far {
+		far[i] = 50
+	}
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 1, Tau: 0.6})
+	events, err := m.PushBatch(0, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Decision != proud.Reject {
+		t.Fatalf("events = %+v", events)
+	}
+	// tau >= 0.5 enables the sound early reject on a hugely distant
+	// stream.
+	if !events[0].Early {
+		t.Error("expected an early rejection")
+	}
+}
+
+func TestMonitorEpochsRestart(t *testing.T) {
+	ref := []float64{1, 2, 3}
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 4, Tau: 0.5})
+	// Three epochs of data: identical, identical, distant.
+	data := append(append(append([]float64{}, ref...), ref...), 40, 40, 40)
+	events, err := m.PushBatch(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("want 3 epoch decisions, got %d: %+v", len(events), events)
+	}
+	if events[0].Decision != proud.Accept || events[1].Decision != proud.Accept {
+		t.Errorf("first two epochs should accept: %+v", events)
+	}
+	if events[2].Decision != proud.Reject {
+		t.Errorf("third epoch should reject: %+v", events)
+	}
+}
+
+func TestMonitorMultipleStreamsIndependent(t *testing.T) {
+	ref := []float64{0, 1, 0}
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 3, Tau: 0.5})
+	// Interleave two streams; each must get its own epoch state. Events
+	// may fire early (the distant stream rejects on its very first push),
+	// so collect across every call.
+	var ev0, ev1 []Event
+	push := func(stream int, v float64) {
+		t.Helper()
+		ev, err := m.Push(stream, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream == 0 {
+			ev0 = append(ev0, ev...)
+		} else {
+			ev1 = append(ev1, ev...)
+		}
+	}
+	push(0, 0)
+	push(1, 30)
+	push(0, 1)
+	push(1, 30)
+	push(0, 0)
+	push(1, 30)
+	if len(ev0) != 1 || ev0[0].Decision != proud.Accept {
+		t.Errorf("stream 0: %+v", ev0)
+	}
+	if len(ev1) != 1 || ev1[0].Decision != proud.Reject {
+		t.Errorf("stream 1: %+v", ev1)
+	}
+}
+
+func TestMonitorMultiplePatterns(t *testing.T) {
+	m := newTestMonitor(t,
+		Pattern{ID: 1, Values: []float64{0, 0, 0, 0}, Eps: 2, Tau: 0.5},
+		Pattern{ID: 2, Values: []float64{10, 10, 10, 10}, Eps: 2, Tau: 0.5},
+	)
+	events, err := m.PushBatch(0, []float64{0.1, -0.1, 0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPattern := map[int]proud.Decision{}
+	for _, e := range events {
+		byPattern[e.PatternID] = e.Decision
+	}
+	if byPattern[1] != proud.Accept {
+		t.Errorf("pattern 1 should accept: %+v", events)
+	}
+	if byPattern[2] != proud.Reject {
+		t.Errorf("pattern 2 should reject: %+v", events)
+	}
+}
+
+func TestMonitorNoisyStreamStatistics(t *testing.T) {
+	// A stream that equals the pattern plus noise at the reported sigma
+	// should be accepted in the large majority of epochs when eps is
+	// calibrated generously.
+	rng := stats.NewRand(3)
+	ref := make([]float64, 16)
+	for i := range ref {
+		ref[i] = float64(i % 4)
+	}
+	m, err := NewMonitor(0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(Pattern{ID: 1, Values: ref, Eps: 3, Tau: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	accepts, total := 0, 0
+	for epoch := 0; epoch < 50; epoch++ {
+		for _, v := range ref {
+			events, err := m.Push(0, v+rng.NormFloat64()*0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				total++
+				if e.Decision == proud.Accept {
+					accepts++
+				}
+			}
+		}
+	}
+	if total != 50 {
+		t.Fatalf("want 50 epoch decisions, got %d", total)
+	}
+	if rate := float64(accepts) / float64(total); rate < 0.8 {
+		t.Errorf("accept rate %v too low for in-band noise", rate)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(-1, 0); err == nil {
+		t.Error("negative sigma should error")
+	}
+	m, _ := NewMonitor(0.1, 0.1)
+	if err := m.Register(Pattern{ID: 1, Values: nil, Eps: 1, Tau: 0.5}); err == nil {
+		t.Error("empty pattern should error")
+	}
+	if err := m.Register(Pattern{ID: 1, Values: []float64{1}, Eps: 1, Tau: 0}); err == nil {
+		t.Error("tau=0 should error")
+	}
+	if err := m.Register(Pattern{ID: 1, Values: []float64{1}, Eps: -1, Tau: 0.5}); err == nil {
+		t.Error("negative eps should error")
+	}
+	if _, err := m.Push(0, 1); err == nil {
+		t.Error("push with no patterns should error")
+	}
+	if err := m.Register(Pattern{ID: 1, Values: []float64{1, 2}, Eps: 1, Tau: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Push(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(Pattern{ID: 2, Values: []float64{1}, Eps: 1, Tau: 0.5}); err == nil {
+		t.Error("late registration should error")
+	}
+	if m.Patterns() != 1 {
+		t.Errorf("Patterns = %d", m.Patterns())
+	}
+}
+
+func TestMonitorEarlyDecisionEmittedOnce(t *testing.T) {
+	// After an early rejection, the rest of the epoch must be drained
+	// silently and the next epoch must evaluate afresh.
+	// eps must leave room for the expected noise energy n*varD ~ 0.48, or
+	// even an identical pair is correctly rejected.
+	ref := make([]float64, 6)
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 2, Tau: 0.7})
+	far := []float64{99, 99, 99, 99, 99, 99}
+	events, err := m.PushBatch(0, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("early decision emitted %d times", len(events))
+	}
+	// Next epoch: matching data accepts again.
+	events, err = m.PushBatch(0, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Decision != proud.Accept {
+		t.Fatalf("second epoch events = %+v", events)
+	}
+}

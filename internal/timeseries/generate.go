@@ -1,0 +1,132 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The generators below produce the prototype shapes used by the synthetic
+// UCR stand-in datasets (package ucr). They deliberately create strong
+// temporal correlation between neighbouring points: that correlation is the
+// property the paper's UMA/UEMA result hinges on.
+
+// SineWave returns a sine of the given length, period (in samples), phase
+// (radians) and amplitude.
+func SineWave(n int, period, phase, amplitude float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*float64(i)/period+phase)
+	}
+	return out
+}
+
+// GaussianBump returns a bell curve of the given length centered at center
+// (sample index) with the given width (stddev in samples) and height.
+func GaussianBump(n int, center, width, height float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		z := (float64(i) - center) / width
+		out[i] = height * math.Exp(-z*z/2)
+	}
+	return out
+}
+
+// Plateau returns a step function that is `height` on [start, end) and 0
+// elsewhere; the building block of the CBF cylinder shape.
+func Plateau(n, start, end int, height float64) []float64 {
+	out := make([]float64, n)
+	for i := start; i < end && i < n; i++ {
+		if i >= 0 {
+			out[i] = height
+		}
+	}
+	return out
+}
+
+// Ramp returns a linear ramp from 0 at start to height at end-1, zero
+// elsewhere; the building block of the CBF bell and funnel shapes.
+func Ramp(n, start, end int, height float64, rising bool) []float64 {
+	out := make([]float64, n)
+	span := end - start
+	if span <= 0 {
+		return out
+	}
+	for i := start; i < end && i < n; i++ {
+		if i < 0 {
+			continue
+		}
+		f := float64(i-start) / float64(span)
+		if rising {
+			out[i] = height * f
+		} else {
+			out[i] = height * (1 - f)
+		}
+	}
+	return out
+}
+
+// SmoothedRandomWalk returns a random walk smoothed with a moving average of
+// half-width smooth; it produces organic, strongly autocorrelated shapes.
+func SmoothedRandomWalk(rng *rand.Rand, n int, step float64, smooth int) []float64 {
+	walk := make([]float64, n)
+	acc := 0.0
+	for i := range walk {
+		acc += rng.NormFloat64() * step
+		walk[i] = acc
+	}
+	return MovingAverage(walk, smooth)
+}
+
+// Add returns the elementwise sum of a and b, which must have equal length.
+func Add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Scale returns a copy of xs with every element multiplied by k.
+func Scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = k * x
+	}
+	return out
+}
+
+// Warp returns xs resampled with a smooth monotone time warp of strength
+// amount in [0, 1): values are read at positions t + amount*sin(...) so the
+// shape is preserved but locally stretched, which is how within-class
+// variation is produced in the synthetic datasets.
+func Warp(rng *rand.Rand, xs []float64, amount float64) []float64 {
+	n := len(xs)
+	if n < 2 || amount <= 0 {
+		out := make([]float64, n)
+		copy(out, xs)
+		return out
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	period := 0.5 + rng.Float64() // between half and 1.5 cycles over the series
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i)
+		shift := amount * float64(n) / 10 * math.Sin(2*math.Pi*period*t/float64(n)+phase)
+		pos := t + shift
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > float64(n-1) {
+			pos = float64(n - 1)
+		}
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= n {
+			out[i] = xs[n-1]
+			continue
+		}
+		f := pos - float64(lo)
+		out[i] = xs[lo]*(1-f) + xs[hi]*f
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises a dataset, one row per series:
+//
+//	id,label,v0,v1,...,vn-1
+//
+// Rows may have different lengths (ragged datasets round-trip losslessly).
+func WriteCSV(w io.Writer, ds Dataset) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	for _, s := range ds.Series {
+		row := make([]string, 0, 2+s.Len())
+		row = append(row, strconv.Itoa(s.ID), strconv.Itoa(s.Label))
+		for _, v := range s.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("timeseries: writing series %d: %w", s.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format into a dataset with the given name.
+func ReadCSV(r io.Reader, name string) (Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows allowed
+	ds := Dataset{Name: name}
+	for lineNo := 1; ; lineNo++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Dataset{}, fmt.Errorf("timeseries: ReadCSV line %d: %w", lineNo, err)
+		}
+		if len(row) < 3 {
+			return Dataset{}, fmt.Errorf("timeseries: ReadCSV line %d: need id,label,values..., got %d fields", lineNo, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return Dataset{}, fmt.Errorf("timeseries: ReadCSV line %d: bad id %q: %w", lineNo, row[0], err)
+		}
+		label, err := strconv.Atoi(row[1])
+		if err != nil {
+			return Dataset{}, fmt.Errorf("timeseries: ReadCSV line %d: bad label %q: %w", lineNo, row[1], err)
+		}
+		values := make([]float64, len(row)-2)
+		for i, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return Dataset{}, fmt.Errorf("timeseries: ReadCSV line %d, field %d: bad value %q: %w", lineNo, i+3, cell, err)
+			}
+			values[i] = v
+		}
+		ds.Series = append(ds.Series, Series{Values: values, Label: label, ID: id})
+	}
+	if len(ds.Series) == 0 {
+		return Dataset{}, errors.New("timeseries: ReadCSV: no series")
+	}
+	return ds, nil
+}

@@ -1,0 +1,64 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Dataset{Name: "roundtrip", Series: []Series{
+		{Values: []float64{1.5, -2.25, 3e-7}, Label: 2, ID: 10},
+		{Values: []float64{0, math.Pi}, Label: 0, ID: 11}, // ragged
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("length %d, want %d", back.Len(), orig.Len())
+	}
+	for i, s := range back.Series {
+		o := orig.Series[i]
+		if s.ID != o.ID || s.Label != o.Label || s.Len() != o.Len() {
+			t.Fatalf("series %d metadata mismatch: %+v vs %+v", i, s, o)
+		}
+		for j := range s.Values {
+			if s.Values[j] != o.Values[j] {
+				t.Fatalf("series %d value %d: %v vs %v", i, j, s.Values[j], o.Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"too few fields", "1,2\n"},
+		{"bad id", "x,0,1.5\n"},
+		{"bad label", "1,x,1.5\n"},
+		{"bad value", "1,0,abc\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "bad"); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadCSVPreservesName(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("7,3,1,2,3\n"), "mine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "mine" || ds.Series[0].ID != 7 || ds.Series[0].Label != 3 {
+		t.Errorf("parsed %+v", ds)
+	}
+}

@@ -1,0 +1,68 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"uncertts/internal/stats"
+)
+
+func TestAR1PerturberValidation(t *testing.T) {
+	if _, err := NewAR1Perturber(Normal, 1, 1, 10, 1); err == nil {
+		t.Error("rho=1 should error")
+	}
+	if _, err := NewAR1Perturber(Normal, 1, -1, 10, 1); err == nil {
+		t.Error("rho=-1 should error")
+	}
+	if _, err := NewAR1Perturber(Normal, 0, 0.5, 10, 1); err == nil {
+		t.Error("invalid sigma should propagate")
+	}
+	if _, err := NewAR1Perturber(Normal, 1, 0.5, 10, 1); err != nil {
+		t.Error("valid parameters should succeed")
+	}
+}
+
+func TestAR1ErrorsAreCorrelated(t *testing.T) {
+	const n = 20000
+	const rho = 0.8
+	p, err := NewAR1Perturber(Normal, 1, rho, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := p.PerturbPDF(flatSeries(n, 0))
+	errs := ps.Observations // truth is zero, so observations ARE the errors
+
+	// Marginal stddev preserved (Gaussian case: exact).
+	sd := stats.StdDevOf(errs)
+	if math.Abs(sd-1) > 0.03 {
+		t.Errorf("marginal stddev = %v, want 1", sd)
+	}
+	// Lag-1 autocorrelation near rho.
+	var num, den float64
+	mu := stats.Mean(errs)
+	for i := 0; i < n-1; i++ {
+		num += (errs[i] - mu) * (errs[i+1] - mu)
+	}
+	for _, e := range errs {
+		den += (e - mu) * (e - mu)
+	}
+	if ac := num / den; math.Abs(ac-rho) > 0.03 {
+		t.Errorf("lag-1 autocorrelation = %v, want about %v", ac, rho)
+	}
+}
+
+func TestAR1RhoZeroMatchesIndependent(t *testing.T) {
+	s := flatSeries(50, 4)
+	indep, _ := NewConstantPerturber(Uniform, 0.5, 50, 9)
+	ar, err := NewAR1Perturber(Uniform, 0.5, 0, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := indep.PerturbPDF(s)
+	b := ar.PerturbPDF(s)
+	for i := range a.Observations {
+		if a.Observations[i] != b.Observations[i] {
+			t.Fatal("rho=0 must reproduce the independent perturber exactly")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package wavelet implements the Haar discrete wavelet transform and a
+// top-coefficient synopsis. PROUD was originally formulated over a Haar
+// wavelet synopsis of the data stream (Section 4.3 of the paper); this
+// package provides that substrate and an ablation point: PROUD over raw
+// series versus PROUD over a synopsis.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNotPowerOfTwo is returned when a transform input length is not a power
+// of two.
+var ErrNotPowerOfTwo = errors.New("wavelet: input length is not a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (n >= 1).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PadToPowerOfTwo returns xs extended to the next power-of-two length by
+// repeating the final value, a standard boundary treatment that avoids
+// introducing an artificial jump.
+func PadToPowerOfTwo(xs []float64) []float64 {
+	n := NextPowerOfTwo(len(xs))
+	out := make([]float64, n)
+	copy(out, xs)
+	if len(xs) > 0 {
+		last := xs[len(xs)-1]
+		for i := len(xs); i < n; i++ {
+			out[i] = last
+		}
+	}
+	return out
+}
+
+// Transform returns the orthonormal Haar DWT of xs, whose length must be a
+// power of two. With the orthonormal normalisation, the transform preserves
+// Euclidean distances exactly (Parseval), which is what makes a wavelet
+// synopsis compatible with distance-based pruning.
+func Transform(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	out := make([]float64, n)
+	copy(out, xs)
+	buf := make([]float64, n)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			buf[i] = (a + b) / math.Sqrt2
+			buf[half+i] = (a - b) / math.Sqrt2
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// Inverse returns the inverse orthonormal Haar DWT.
+func Inverse(coeffs []float64) ([]float64, error) {
+	n := len(coeffs)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	out := make([]float64, n)
+	copy(out, coeffs)
+	buf := make([]float64, n)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			s, d := out[i], out[half+i]
+			buf[2*i] = (s + d) / math.Sqrt2
+			buf[2*i+1] = (s - d) / math.Sqrt2
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out, nil
+}
+
+// Synopsis is a sparse top-k wavelet representation of a series.
+type Synopsis struct {
+	// N is the (power-of-two) length of the represented series.
+	N int
+	// Indices are the retained coefficient positions, ascending.
+	Indices []int
+	// Coeffs are the retained coefficient values, parallel to Indices.
+	Coeffs []float64
+}
+
+// NewSynopsis transforms xs (padding to a power of two if needed) and keeps
+// the k coefficients of largest magnitude. k is clamped to the transform
+// length.
+func NewSynopsis(xs []float64, k int) (*Synopsis, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("wavelet: NewSynopsis: empty input")
+	}
+	padded := PadToPowerOfTwo(xs)
+	coeffs, err := Transform(padded)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(coeffs) {
+		k = len(coeffs)
+	}
+	if k < 1 {
+		k = 1
+	}
+	order := make([]int, len(coeffs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return math.Abs(coeffs[order[a]]) > math.Abs(coeffs[order[b]])
+	})
+	keep := order[:k]
+	sort.Ints(keep)
+	s := &Synopsis{N: len(coeffs), Indices: keep, Coeffs: make([]float64, k)}
+	for i, idx := range keep {
+		s.Coeffs[i] = coeffs[idx]
+	}
+	return s, nil
+}
+
+// Reconstruct returns the series approximation encoded by the synopsis,
+// truncated to origLen points (pass s.N for the full padded length).
+func (s *Synopsis) Reconstruct(origLen int) ([]float64, error) {
+	if origLen < 0 || origLen > s.N {
+		return nil, fmt.Errorf("wavelet: Reconstruct: length %d outside [0, %d]", origLen, s.N)
+	}
+	full := make([]float64, s.N)
+	for i, idx := range s.Indices {
+		full[idx] = s.Coeffs[i]
+	}
+	inv, err := Inverse(full)
+	if err != nil {
+		return nil, err
+	}
+	return inv[:origLen], nil
+}
+
+// Distance returns the Euclidean distance between two synopses computed in
+// coefficient space. By Parseval this lower-bounds the true Euclidean
+// distance between the represented series (it drops the energy of the
+// discarded coefficients).
+func Distance(a, b *Synopsis) (float64, error) {
+	if a.N != b.N {
+		return 0, fmt.Errorf("wavelet: Distance: synopsis lengths differ (%d vs %d)", a.N, b.N)
+	}
+	var acc float64
+	i, j := 0, 0
+	for i < len(a.Indices) && j < len(b.Indices) {
+		switch {
+		case a.Indices[i] == b.Indices[j]:
+			d := a.Coeffs[i] - b.Coeffs[j]
+			acc += d * d
+			i++
+			j++
+		case a.Indices[i] < b.Indices[j]:
+			acc += a.Coeffs[i] * a.Coeffs[i]
+			i++
+		default:
+			acc += b.Coeffs[j] * b.Coeffs[j]
+			j++
+		}
+	}
+	for ; i < len(a.Indices); i++ {
+		acc += a.Coeffs[i] * a.Coeffs[i]
+	}
+	for ; j < len(b.Indices); j++ {
+		acc += b.Coeffs[j] * b.Coeffs[j]
+	}
+	return math.Sqrt(acc), nil
+}

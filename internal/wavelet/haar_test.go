@@ -1,0 +1,236 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		is   bool
+		next int
+	}{
+		{1, true, 1}, {2, true, 2}, {3, false, 4}, {8, true, 8}, {9, false, 16},
+	} {
+		if IsPowerOfTwo(c.n) != c.is {
+			t.Errorf("IsPowerOfTwo(%d) = %v", c.n, !c.is)
+		}
+		if NextPowerOfTwo(c.n) != c.next {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", c.n, NextPowerOfTwo(c.n), c.next)
+		}
+	}
+	if IsPowerOfTwo(0) || IsPowerOfTwo(-4) {
+		t.Error("non-positive n is never a power of two")
+	}
+}
+
+func TestPadToPowerOfTwo(t *testing.T) {
+	out := PadToPowerOfTwo([]float64{1, 2, 3})
+	if len(out) != 4 || out[3] != 3 {
+		t.Errorf("pad = %v", out)
+	}
+	if got := PadToPowerOfTwo(nil); len(got) != 1 {
+		t.Errorf("empty pad should give the length-1 zero vector, got %v", got)
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := 1
+		for n*2 <= len(raw) && n < 64 {
+			n *= 2
+		}
+		xs := raw[:n]
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		coeffs, err := Transform(xs)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(coeffs)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if !almostEqual(back[i], xs[i], 1e-9*(1+math.Abs(xs[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	coeffs, err := Transform([]float64{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 6 / math.Sqrt2
+	want1 := 2 / math.Sqrt2
+	if !almostEqual(coeffs[0], want0, 1e-12) || !almostEqual(coeffs[1], want1, 1e-12) {
+		t.Errorf("coeffs = %v, want [%v %v]", coeffs, want0, want1)
+	}
+}
+
+func TestTransformRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := Transform([]float64{1, 2, 3}); err == nil {
+		t.Error("length 3 should be rejected")
+	}
+	if _, err := Inverse([]float64{1, 2, 3}); err == nil {
+		t.Error("length 3 should be rejected")
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// The orthonormal Haar transform preserves Euclidean distance.
+	rng := stats.NewRand(9)
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	cx, _ := Transform(x)
+	cy, _ := Transform(y)
+	dOrig, _ := distance.Euclidean(x, y)
+	dCoef, _ := distance.Euclidean(cx, cy)
+	if !almostEqual(dOrig, dCoef, 1e-9) {
+		t.Errorf("Parseval violated: %v vs %v", dOrig, dCoef)
+	}
+}
+
+func TestSynopsisFullKeepIsExact(t *testing.T) {
+	xs := []float64{1, 5, -2, 3, 0, 0, 2, 2}
+	s, err := NewSynopsis(xs, len(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Reconstruct(len(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if !almostEqual(back[i], xs[i], 1e-9) {
+			t.Errorf("full synopsis reconstruct differs at %d: %v vs %v", i, back[i], xs[i])
+		}
+	}
+}
+
+func TestSynopsisCompressionError(t *testing.T) {
+	// Smooth signal: few coefficients capture most energy; reconstruction
+	// error decreases as k grows.
+	n := 128
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, k := range []int{4, 16, 64, 128} {
+		s, err := NewSynopsis(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.Reconstruct(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := distance.Euclidean(xs, back)
+		if d > prevErr+1e-9 {
+			t.Errorf("reconstruction error should not grow with k: k=%d err=%v prev=%v", k, d, prevErr)
+		}
+		prevErr = d
+	}
+	if prevErr > 1e-9 {
+		t.Errorf("k=n reconstruction should be exact, err=%v", prevErr)
+	}
+}
+
+func TestSynopsisDistanceLowerBounds(t *testing.T) {
+	rng := stats.NewRand(21)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 64)
+		y := make([]float64, 64)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		sx, _ := NewSynopsis(x, 16)
+		sy, _ := NewSynopsis(y, 16)
+		approx, err := Distance(sx, sy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := distance.Euclidean(x, y)
+		// Synopsis distance uses only retained coefficients. When a
+		// coefficient is retained by one side only, its full magnitude
+		// enters, so the result is not a strict lower bound of the exact
+		// distance in general — but it must be close and non-negative.
+		if approx < 0 {
+			t.Errorf("negative synopsis distance %v", approx)
+		}
+		if math.Abs(approx-exact) > 0.7*exact {
+			t.Errorf("synopsis distance %v too far from exact %v", approx, exact)
+		}
+	}
+}
+
+func TestSynopsisErrors(t *testing.T) {
+	if _, err := NewSynopsis(nil, 4); err == nil {
+		t.Error("empty input should error")
+	}
+	s, err := NewSynopsis([]float64{1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Coeffs) != 1 {
+		t.Errorf("k<1 should clamp to 1, got %d", len(s.Coeffs))
+	}
+	if _, err := s.Reconstruct(99); err == nil {
+		t.Error("over-long reconstruct should error")
+	}
+	other, _ := NewSynopsis([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 2)
+	if _, err := Distance(s, other); err == nil {
+		t.Error("mismatched synopsis lengths should error")
+	}
+}
+
+func TestSynopsisNonPowerOfTwoInput(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5} // padded to 8
+	s, err := NewSynopsis(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("padded length = %d, want 8", s.N)
+	}
+	back, err := s.Reconstruct(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if !almostEqual(back[i], xs[i], 1e-9) {
+			t.Errorf("reconstruct[%d] = %v, want %v", i, back[i], xs[i])
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package uncertts is a Go reproduction of "Uncertain Time-Series
+// Similarity: Return to the Basics" (Dallachiesa, Nushi, Mirylenka,
+// Palpanas; PVLDB 5(11), 2012).
+//
+// It implements, from scratch on the standard library:
+//
+//   - the three uncertain-similarity techniques the paper surveys — MUNICH
+//     (repeated-observation counting), PROUD (central-limit probabilistic
+//     ranges) and DUST (Bayesian per-value dissimilarity) — plus the plain
+//     Euclidean baseline;
+//   - the paper's own contribution, the UMA and UEMA uncertainty-weighted
+//     moving-average measures;
+//   - the full evaluation methodology of Section 4: ground-truth
+//     construction, per-technique threshold calibration, tau calibration,
+//     precision/recall/F1 scoring; and
+//   - deterministic synthetic stand-ins for the 17 UCR datasets, an
+//     error-perturbation engine (uniform / normal / exponential, constant
+//     and mixed sigma), and runners that regenerate every figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	ds, _ := uncertts.GenerateDataset("CBF", uncertts.DatasetOptions{MaxSeries: 40, Length: 96, Seed: 1})
+//	pert, _ := uncertts.NewConstantPerturber(uncertts.Normal, 0.6, 96, 1)
+//	w, _ := uncertts.NewWorkload(ds, pert, uncertts.WorkloadConfig{K: 10})
+//	metrics, _ := uncertts.Evaluate(w, uncertts.NewUEMAMatcher(2, 1), nil)
+//	fmt.Printf("UEMA F1: %.3f\n", uncertts.AverageMetrics(metrics).F1)
+//
+// The cmd/uncertbench binary regenerates any figure:
+//
+//	uncertbench -exp fig5 -scale medium
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package uncertts
+
+import (
+	"math/rand"
+
+	"uncertts/internal/core"
+	"uncertts/internal/distance"
+	"uncertts/internal/dust"
+	"uncertts/internal/experiments"
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
+	"uncertts/internal/query"
+	"uncertts/internal/stats"
+	"uncertts/internal/stream"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+	"uncertts/internal/wavelet"
+)
+
+// ---- Time series substrate ----
+
+// Series is a real-valued time series with constant sampling rate.
+type Series = timeseries.Series
+
+// Dataset is a named collection of series.
+type Dataset = timeseries.Dataset
+
+// NewSeries builds a Series over a copy of values.
+func NewSeries(values []float64) Series { return timeseries.New(values) }
+
+// WeightMode selects the Eq. 17/18 weight normalisation of the UMA/UEMA
+// filters.
+type WeightMode = timeseries.WeightMode
+
+// Weight mode values.
+const (
+	WeightModeNormalized = timeseries.WeightModeNormalized
+	WeightModeStrict     = timeseries.WeightModeStrict
+)
+
+// MovingAverage applies the paper's Eq. 15 filter.
+func MovingAverage(values []float64, w int) []float64 {
+	return timeseries.MovingAverage(values, w)
+}
+
+// ExponentialMovingAverage applies the paper's Eq. 16 filter.
+func ExponentialMovingAverage(values []float64, w int, lambda float64) []float64 {
+	return timeseries.ExponentialMovingAverage(values, w, lambda)
+}
+
+// UMA applies the Uncertain Moving Average filter (Eq. 17).
+func UMA(values, sigmas []float64, w int, mode WeightMode) ([]float64, error) {
+	return timeseries.UncertainMovingAverage(values, sigmas, w, mode)
+}
+
+// UEMA applies the Uncertain Exponential Moving Average filter (Eq. 18).
+func UEMA(values, sigmas []float64, w int, lambda float64, mode WeightMode) ([]float64, error) {
+	return timeseries.UncertainExponentialMovingAverage(values, sigmas, w, lambda, mode)
+}
+
+// ---- Distances ----
+
+// Euclidean returns the L2 distance between equal-length series.
+func Euclidean(x, y []float64) (float64, error) { return distance.Euclidean(x, y) }
+
+// DTW returns the Dynamic Time Warping distance.
+func DTW(x, y []float64) (float64, error) { return distance.DTW(x, y) }
+
+// DTWBand returns DTW constrained to a Sakoe-Chiba band.
+func DTWBand(x, y []float64, band int) (float64, error) { return distance.DTWBand(x, y, band) }
+
+// ---- Probability distributions ----
+
+// Dist is a continuous probability distribution (error model).
+type Dist = stats.Dist
+
+// NormalDist returns N(mu, sigma^2).
+func NormalDist(mu, sigma float64) Dist { return stats.NewNormal(mu, sigma) }
+
+// UniformErrorDist returns the zero-mean uniform error with stddev sigma.
+func UniformErrorDist(sigma float64) Dist { return stats.NewUniformByStdDev(sigma) }
+
+// ExponentialErrorDist returns the zero-mean exponential error with stddev
+// sigma.
+func ExponentialErrorDist(sigma float64) Dist { return stats.NewExponentialByStdDev(sigma) }
+
+// ---- Uncertainty models and perturbation ----
+
+// PDFSeries is the observation-plus-error-distribution uncertain model
+// (PROUD / DUST input).
+type PDFSeries = uncertain.PDFSeries
+
+// SampleSeries is the repeated-observation uncertain model (MUNICH input).
+type SampleSeries = uncertain.SampleSeries
+
+// ErrorFamily enumerates the zero-mean error families of the evaluation.
+type ErrorFamily = uncertain.ErrorFamily
+
+// Error family values.
+const (
+	Normal      = uncertain.Normal
+	Uniform     = uncertain.Uniform
+	Exponential = uncertain.Exponential
+)
+
+// Perturber turns exact series into uncertain ones.
+type Perturber = uncertain.Perturber
+
+// MixedSigmaSpec describes the paper's mixed-error perturbations.
+type MixedSigmaSpec = uncertain.MixedSigmaSpec
+
+// NewConstantPerturber perturbs every timestamp with the same error.
+func NewConstantPerturber(family ErrorFamily, sigma float64, n int, seed int64) (*Perturber, error) {
+	return uncertain.NewConstantPerturber(family, sigma, n, seed)
+}
+
+// NewMixedPerturber perturbs with the mixed-sigma (and optionally
+// mixed-family) error of Figures 8-10 and 15-17.
+func NewMixedPerturber(spec MixedSigmaSpec, n int, seed int64) (*Perturber, error) {
+	return uncertain.NewMixedPerturber(spec, n, seed)
+}
+
+// NewAR1Perturber perturbs with AR(1)-correlated errors (coefficient rho),
+// probing what happens when the independence assumption every technique
+// shares is violated.
+func NewAR1Perturber(family ErrorFamily, sigma, rho float64, n int, seed int64) (*Perturber, error) {
+	return uncertain.NewAR1Perturber(family, sigma, rho, n, seed)
+}
+
+// NewEmpiricalDist fits a Gaussian-kernel density estimate to samples
+// (bandwidth 0 = Silverman's rule).
+func NewEmpiricalDist(samples []float64, bandwidth float64) (*stats.Empirical, error) {
+	return stats.NewEmpirical(samples, bandwidth)
+}
+
+// ---- Techniques ----
+
+// DUSTOptions configures a DUST evaluator.
+type DUSTOptions = dust.Options
+
+// DUST is the lookup-table Bayesian dissimilarity evaluator.
+type DUST = dust.Dust
+
+// NewDUST returns a DUST evaluator.
+func NewDUST(opts DUSTOptions) *DUST { return dust.New(opts) }
+
+// PROUDDistance returns PROUD's normal approximation of the squared
+// distance between two observation vectors.
+func PROUDDistance(qObs, cObs []float64, qSigma, cSigma float64) (proud.DistanceDist, error) {
+	return proud.Distance(qObs, cObs, qSigma, cSigma)
+}
+
+// MUNICHProbability returns Pr(distance <= eps) under the MUNICH
+// repeated-observation semantics.
+func MUNICHProbability(x, y SampleSeries, eps float64, opts munich.Options) (float64, error) {
+	return munich.Probability(x, y, eps, opts)
+}
+
+// MUNICHOptions configures MUNICH probability estimation.
+type MUNICHOptions = munich.Options
+
+// ---- Evaluation framework ----
+
+// Workload bundles exact data, perturbed views and ground truth.
+type Workload = core.Workload
+
+// WorkloadConfig parameterises workload construction.
+type WorkloadConfig = core.WorkloadConfig
+
+// Matcher is a similarity technique on the common matching task.
+type Matcher = core.Matcher
+
+// Metrics holds precision / recall / F1 for one query.
+type Metrics = query.Metrics
+
+// NewWorkload builds a workload from an exact dataset and a perturber.
+func NewWorkload(ds Dataset, p *Perturber, cfg WorkloadConfig) (*Workload, error) {
+	return core.NewWorkload(ds, p, cfg)
+}
+
+// NewEuclideanMatcher returns the Euclidean baseline.
+func NewEuclideanMatcher() Matcher { return core.NewEuclideanMatcher() }
+
+// NewDUSTMatcher returns the DUST technique.
+func NewDUSTMatcher() Matcher { return core.NewDUSTMatcher() }
+
+// NewPROUDMatcher returns the PROUD technique with probability threshold
+// tau.
+func NewPROUDMatcher(tau float64) Matcher { return core.NewPROUDMatcher(tau) }
+
+// NewMUNICHMatcher returns the MUNICH technique with probability threshold
+// tau (requires a workload built with SamplesPerTS > 0).
+func NewMUNICHMatcher(tau float64) Matcher { return core.NewMUNICHMatcher(tau) }
+
+// NewUMAMatcher returns the UMA measure with window half-width w.
+func NewUMAMatcher(w int) Matcher { return core.NewUMAMatcher(w) }
+
+// NewUEMAMatcher returns the UEMA measure with window half-width w and
+// decay lambda.
+func NewUEMAMatcher(w int, lambda float64) Matcher { return core.NewUEMAMatcher(w, lambda) }
+
+// NewDTWMatcher returns the DTW baseline (DTW over perturbed observations).
+func NewDTWMatcher() Matcher { return core.NewDTWMatcher() }
+
+// NewDUSTDTWMatcher returns the DUST-under-DTW combination of Section 3.2.
+func NewDUSTDTWMatcher() Matcher { return core.NewDUSTDTWMatcher() }
+
+// NewMUNICHDTWMatcher returns MUNICH with the DTW inner distance (Monte
+// Carlo estimation; requires a workload with SamplesPerTS > 0).
+func NewMUNICHDTWMatcher(tau float64) Matcher { return core.NewMUNICHDTWMatcher(tau) }
+
+// NewDUSTEmpiricalMatcher returns DUST with its error model *estimated*
+// from repeated observations (requires SamplesPerTS > 1) instead of
+// supplied a priori.
+func NewDUSTEmpiricalMatcher() Matcher { return core.NewDUSTEmpiricalMatcher() }
+
+// Evaluate runs a matcher over the workload's queries (nil = all) and
+// returns per-query metrics.
+func Evaluate(w *Workload, m Matcher, queries []int) ([]Metrics, error) {
+	return core.Evaluate(w, m, queries)
+}
+
+// EvaluateParallel is Evaluate with per-query work fanned out across the
+// given number of workers (0 = GOMAXPROCS); results are identical.
+func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]Metrics, error) {
+	return core.EvaluateParallel(w, m, queries, workers)
+}
+
+// CalibrateTau finds the best probability threshold for a probabilistic
+// matcher, reproducing the paper's "optimal tau" procedure.
+func CalibrateTau(w *Workload, factory func(tau float64) Matcher, queries []int, grid []float64) (float64, float64, error) {
+	return core.CalibrateTau(w, factory, queries, grid)
+}
+
+// AverageMetrics averages per-query metrics.
+func AverageMetrics(ms []Metrics) Metrics { return query.AverageMetrics(ms) }
+
+// ---- Datasets ----
+
+// DatasetOptions controls synthetic UCR generation.
+type DatasetOptions = ucr.Options
+
+// GenerateDataset produces one of the 17 synthetic UCR stand-ins by name.
+func GenerateDataset(name string, opts DatasetOptions) (Dataset, error) {
+	return ucr.Generate(name, opts)
+}
+
+// GenerateAllDatasets produces all 17 stand-ins.
+func GenerateAllDatasets(opts DatasetOptions) []Dataset { return ucr.GenerateAll(opts) }
+
+// DatasetNames lists the 17 dataset names in the paper's order.
+func DatasetNames() []string { return ucr.Names() }
+
+// ---- Experiments ----
+
+// ExperimentConfig parameterises a figure regeneration.
+type ExperimentConfig = experiments.Config
+
+// ExperimentTable is a printable experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentScale selects workload sizes.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall  = experiments.ScaleSmall
+	ScaleMedium = experiments.ScaleMedium
+	ScaleFull   = experiments.ScaleFull
+)
+
+// RunExperiment executes a named figure runner ("fig4" ... "fig17",
+// "chisquare").
+func RunExperiment(name string, cfg ExperimentConfig) ([]ExperimentTable, error) {
+	r, ok := experiments.Registry()[name]
+	if !ok {
+		return nil, &UnknownExperimentError{Name: name}
+	}
+	return r(cfg)
+}
+
+// ExperimentNames lists the registered experiments.
+func ExperimentNames() []string { return experiments.Names() }
+
+// UnknownExperimentError reports a bad experiment name.
+type UnknownExperimentError struct{ Name string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "uncertts: unknown experiment " + e.Name
+}
+
+// ---- Streaming ----
+
+// StreamMonitor continuously matches registered patterns against uncertain
+// data streams using PROUD's probabilistic predicate with sound early
+// termination.
+type StreamMonitor = stream.Monitor
+
+// StreamPattern is a reference pattern registered with a StreamMonitor.
+type StreamPattern = stream.Pattern
+
+// StreamEvent is a per-epoch match/no-match decision.
+type StreamEvent = stream.Event
+
+// NewStreamMonitor returns a monitor with the given reported error levels
+// for the patterns and the streams.
+func NewStreamMonitor(querySigma, streamSigma float64) (*StreamMonitor, error) {
+	return stream.NewMonitor(querySigma, streamSigma)
+}
+
+// NewSeededRand returns a deterministic random source (reproducible
+// examples and workloads).
+func NewSeededRand(seed int64) *rand.Rand { return stats.NewRand(seed) }
+
+// ---- Wavelets ----
+
+// HaarTransform returns the orthonormal Haar DWT (power-of-two length).
+func HaarTransform(xs []float64) ([]float64, error) { return wavelet.Transform(xs) }
+
+// HaarInverse inverts HaarTransform.
+func HaarInverse(coeffs []float64) ([]float64, error) { return wavelet.Inverse(coeffs) }

@@ -1,0 +1,230 @@
+package uncertts
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the README
+// quick start does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset("CBF", DatasetOptions{MaxSeries: 24, Length: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 24 {
+		t.Fatalf("dataset size %d", ds.Len())
+	}
+	pert, err := NewConstantPerturber(Normal, 0.6, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, pert, WorkloadConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Matcher{
+		NewEuclideanMatcher(),
+		NewDUSTMatcher(),
+		NewUMAMatcher(2),
+		NewUEMAMatcher(2, 1),
+	} {
+		ms, err := Evaluate(w, m, []int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		avg := AverageMetrics(ms)
+		if avg.F1 < 0 || avg.F1 > 1 {
+			t.Errorf("%s: F1 = %v", m.Name(), avg.F1)
+		}
+	}
+	tau, _, err := CalibrateTau(w, func(tau float64) Matcher { return NewPROUDMatcher(tau) }, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(w, NewPROUDMatcher(tau), []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFiltersAndDistances(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	sig := []float64{1, 1, 1, 1, 1}
+	ma := MovingAverage(vals, 1)
+	uma, err := UMA(vals, sig, 1, WeightModeNormalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ma {
+		if math.Abs(ma[i]-uma[i]) > 1e-12 {
+			t.Fatal("constant-sigma UMA must equal MA")
+		}
+	}
+	if _, err := UEMA(vals, sig, 2, 0.5, WeightModeNormalized); err != nil {
+		t.Fatal(err)
+	}
+	ema := ExponentialMovingAverage(vals, 2, 0.5)
+	if len(ema) != len(vals) {
+		t.Fatal("EMA length")
+	}
+
+	d, err := Euclidean([]float64{0, 0}, []float64{3, 4})
+	if err != nil || d != 5 {
+		t.Fatalf("Euclidean = %v, %v", d, err)
+	}
+	if _, err := DTW([]float64{1, 2}, []float64{1, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DTWBand([]float64{1, 2}, []float64{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDistributions(t *testing.T) {
+	for _, d := range []Dist{NormalDist(0, 1), UniformErrorDist(0.5), ExponentialErrorDist(0.5)} {
+		if math.IsNaN(d.Mean()) || d.Variance() <= 0 {
+			t.Errorf("%v: bad moments", d)
+		}
+	}
+}
+
+func TestPublicDUSTAndMUNICH(t *testing.T) {
+	du := NewDUST(DUSTOptions{})
+	errDist := NormalDist(0, 0.5)
+	v, err := du.Value(0, 1, errDist, errDist)
+	if err != nil || v <= 0 {
+		t.Fatalf("DUST value = %v, %v", v, err)
+	}
+	x := SampleSeries{Samples: [][]float64{{0, 0.1}, {1, 1.1}}, ID: 0}
+	y := SampleSeries{Samples: [][]float64{{0.2}, {1.2}}, ID: 1}
+	p, err := MUNICHProbability(x, y, 1, MUNICHOptions{})
+	if err != nil || p < 0 || p > 1 {
+		t.Fatalf("MUNICH probability = %v, %v", p, err)
+	}
+	dd, err := PROUDDistance([]float64{0, 0}, []float64{1, 1}, 0.3, 0.3)
+	if err != nil || dd.Mean <= 0 {
+		t.Fatalf("PROUD distance = %+v, %v", dd, err)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 18 {
+		t.Fatalf("want 18 experiments, got %d", len(names))
+	}
+	if _, err := RunExperiment("nope", ExperimentConfig{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	var unknown *UnknownExperimentError
+	_, err := RunExperiment("nope", ExperimentConfig{})
+	if !errorsAs(err, &unknown) {
+		t.Errorf("want UnknownExperimentError, got %T", err)
+	}
+	tables, err := RunExperiment("chisquare", ExperimentConfig{Scale: ScaleSmall, Seed: 1})
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("chisquare: %v, %d tables", err, len(tables))
+	}
+}
+
+// errorsAs is a tiny local wrapper to avoid importing errors just for one
+// assertion.
+func errorsAs(err error, target **UnknownExperimentError) bool {
+	if err == nil {
+		return false
+	}
+	u, ok := err.(*UnknownExperimentError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func TestPublicWavelets(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	c, err := HaarTransform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := HaarInverse(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > 1e-9 {
+			t.Fatal("Haar round trip failed")
+		}
+	}
+}
+
+func TestPublicExtensions(t *testing.T) {
+	ds, err := GenerateDataset("CBF", DatasetOptions{MaxSeries: 14, Length: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AR(1) perturbation.
+	pert, err := NewAR1Perturber(Normal, 0.5, 0.6, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, pert, WorkloadConfig{K: 3, SamplesPerTS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel evaluation with DTW and empirical-DUST matchers.
+	for _, m := range []Matcher{
+		NewDTWMatcher(),
+		NewDUSTDTWMatcher(),
+		NewDUSTEmpiricalMatcher(),
+	} {
+		ms, err := EvaluateParallel(w, m, []int{0, 1}, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(ms) != 2 {
+			t.Fatalf("%s: %d rows", m.Name(), len(ms))
+		}
+	}
+	// Empirical distribution from data.
+	e, err := NewEmpiricalDist([]float64{0.1, -0.2, 0.3, 0, -0.1, 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 6 {
+		t.Errorf("N = %d", e.N())
+	}
+	// Streaming monitor.
+	mon, err := NewStreamMonitor(0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Register(StreamPattern{ID: 1, Values: []float64{0, 0, 0}, Eps: 2, Tau: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := mon.PushBatch(0, []float64{0.05, -0.05, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	var _ StreamEvent = events[0]
+}
+
+func TestPublicSeriesHelpers(t *testing.T) {
+	s := NewSeries([]float64{5, 10, 15})
+	n := s.Normalize()
+	if !n.IsNormalized(1e-9) {
+		t.Error("Normalize failed")
+	}
+	if len(DatasetNames()) != 17 {
+		t.Error("want 17 dataset names")
+	}
+	all := GenerateAllDatasets(DatasetOptions{MaxSeries: 3, Length: 40, Seed: 1})
+	if len(all) != 17 {
+		t.Error("want 17 datasets")
+	}
+	spec := MixedSigmaSpec{Fraction: 0.2, SigmaHigh: 1, SigmaLow: 0.4, Families: []ErrorFamily{Normal}}
+	if _, err := NewMixedPerturber(spec, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+}
