@@ -12,6 +12,7 @@ import (
 
 	"uncertts/internal/core"
 	"uncertts/internal/dust"
+	"uncertts/internal/engine"
 	"uncertts/internal/experiments"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
@@ -24,8 +25,13 @@ import (
 )
 
 // benchExperiment runs a figure runner once per iteration at small scale.
+// Figure benchmarks are heavy (BenchmarkFig4 alone takes several seconds
+// per iteration), so -short skips them to keep quick CI loops fast.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skipf("figure benchmark %s skipped in -short mode", name)
+	}
 	runner, ok := experiments.Registry()[name]
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)
@@ -315,4 +321,104 @@ func BenchmarkAblationPROUDWavelet(b *testing.B) {
 		reportF1(b, w, raw, "raw")
 		reportF1(b, w, syn, "wavelet")
 	}
+}
+
+// ---- Query engine benches: pruned top-k versus the naive full scan ----
+
+// topkWorkload is shared across the engine benchmarks: a CBF workload big
+// enough that pruning matters.
+func topkWorkload(b *testing.B) *core.Workload {
+	b.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 120, Length: 128, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.5, 128, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchEngineTopK answers a top-10 batch over every series per iteration
+// and reports the share of the scan that ran a full distance computation
+// (full-dist/op: 1.0 means no pruning).
+func benchEngineTopK(b *testing.B, opts engine.Options) {
+	b.Helper()
+	w := topkWorkload(b)
+	e, err := engine.New(w, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]int, w.Len())
+	for i := range queries {
+		queries[i] = i
+	}
+	if _, err := e.TopKBatch(queries, 10); err != nil { // warm caches/tables outside timing
+		b.Fatal(err)
+	}
+	e.ResetStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.TopKBatch(queries, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := e.Stats()
+	b.ReportMetric(float64(stats.Completed)/float64(stats.Candidates), "full-dist/op")
+}
+
+func BenchmarkTopKEuclideanNaive(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureEuclidean, NoPrune: true})
+}
+
+func BenchmarkTopKEuclideanPruned(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureEuclidean})
+}
+
+func BenchmarkTopKUEMANaive(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureUEMA, NoPrune: true})
+}
+
+func BenchmarkTopKUEMAPruned(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureUEMA})
+}
+
+func BenchmarkTopKDTWNaive(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureDTW, NoPrune: true})
+}
+
+func BenchmarkTopKDTWPruned(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureDTW})
+}
+
+func BenchmarkTopKDUSTNaive(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureDUST, NoPrune: true})
+}
+
+func BenchmarkTopKDUSTPruned(b *testing.B) {
+	benchEngineTopK(b, engine.Options{Measure: engine.MeasureDUST})
+}
+
+// BenchmarkTopKSingleThread isolates the pruning win from parallelism:
+// one worker, pruned versus naive, on the hottest measure.
+func BenchmarkTopKSingleThread(b *testing.B) {
+	b.Run("euclidean-naive", func(b *testing.B) {
+		benchEngineTopK(b, engine.Options{Measure: engine.MeasureEuclidean, NoPrune: true, Workers: 1})
+	})
+	b.Run("euclidean-pruned", func(b *testing.B) {
+		benchEngineTopK(b, engine.Options{Measure: engine.MeasureEuclidean, Workers: 1})
+	})
+	b.Run("dtw-naive", func(b *testing.B) {
+		benchEngineTopK(b, engine.Options{Measure: engine.MeasureDTW, NoPrune: true, Workers: 1})
+	})
+	b.Run("dtw-pruned", func(b *testing.B) {
+		benchEngineTopK(b, engine.Options{Measure: engine.MeasureDTW, Workers: 1})
+	})
 }

@@ -7,6 +7,12 @@
 //
 //	uncertquery -dataset CBF -series 40 -technique uema -sigma 0.8 -query 3
 //	uncertquery -csv data.csv -technique dust -sigma 0.5 -query 0
+//
+// The topk mode answers a k-nearest-neighbour query through the pruned
+// engine (early abandoning, LB_Keogh, shared DUST tables) and reports how
+// much of the scan the pruning skipped:
+//
+//	uncertquery -mode topk -technique dtw -topk 5 -query 3
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"uncertts/internal/core"
+	"uncertts/internal/engine"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
@@ -28,11 +35,15 @@ func main() {
 		series    = flag.Int("series", 40, "number of series when generating")
 		length    = flag.Int("length", 96, "series length when generating")
 		seed      = flag.Int64("seed", 1, "seed for generation and perturbation")
-		technique = flag.String("technique", "uema", "euclidean, proud, dust, munich, uma or uema")
+		technique = flag.String("technique", "uema", "euclidean, proud, dust, munich, uma, uema or dtw")
 		sigma     = flag.Float64("sigma", 0.6, "error standard deviation (normal error)")
 		queryIdx  = flag.Int("query", 0, "query series index")
 		k         = flag.Int("k", 10, "ground-truth neighbourhood size")
 		tau       = flag.Float64("tau", 0, "probability threshold for proud/munich (0 = calibrate)")
+		mode      = flag.String("mode", "match", "match (range query vs ground truth) or topk (pruned k-NN)")
+		topk      = flag.Int("topk", 5, "neighbours to return in topk mode")
+		band      = flag.Int("band", 0, "Sakoe-Chiba half-width for dtw topk (0 = length/10)")
+		workers   = flag.Int("workers", 0, "parallel workers in topk mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -55,6 +66,14 @@ func main() {
 	}
 	if *queryIdx < 0 || *queryIdx >= w.Len() {
 		fatal(fmt.Errorf("query index %d outside [0, %d)", *queryIdx, w.Len()))
+	}
+
+	if *mode == "topk" {
+		runTopK(w, ds.Name, *technique, *queryIdx, *topk, *band, *workers, *sigma)
+		return
+	}
+	if *mode != "match" {
+		fatal(fmt.Errorf("unknown mode %q (want match or topk)", *mode))
 	}
 
 	m, err := buildMatcher(w, *technique, *tau)
@@ -80,6 +99,47 @@ func main() {
 	fmt.Printf("matches    : %v\n", got)
 	fmt.Printf("ground truth: %v\n", w.Truth(*queryIdx))
 	fmt.Printf("precision=%.3f recall=%.3f F1=%.3f\n", metrics.Precision, metrics.Recall, metrics.F1)
+}
+
+// runTopK answers the k-NN query through the pruned engine and reports the
+// scan statistics next to a naive full-scan baseline.
+func runTopK(w *core.Workload, dsName, technique string, queryIdx, k, band, workers int, sigma float64) {
+	var measure engine.Measure
+	switch strings.ToLower(technique) {
+	case "euclidean":
+		measure = engine.MeasureEuclidean
+	case "uma":
+		measure = engine.MeasureUMA
+	case "uema":
+		measure = engine.MeasureUEMA
+	case "dtw":
+		measure = engine.MeasureDTW
+	case "dust":
+		measure = engine.MeasureDUST
+	default:
+		fatal(fmt.Errorf("technique %q has no top-k measure (use euclidean, uma, uema, dtw or dust)", technique))
+	}
+	e, err := engine.New(w, engine.Options{Measure: measure, Band: band, Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	nn, err := e.TopK(queryIdx, k)
+	if err != nil {
+		fatal(err)
+	}
+	stats := e.Stats()
+
+	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())
+	fmt.Printf("measure    : %s (pruned top-%d)\n", measure, k)
+	fmt.Printf("perturbation: normal error, sigma=%.2f\n", sigma)
+	fmt.Printf("query      : series %d (label %d)\n", queryIdx, w.Exact[queryIdx].Label)
+	for rank, n := range nn {
+		fmt.Printf("  #%-2d series %-4d label %-3d distance %.4f\n",
+			rank+1, n.ID, w.Exact[n.ID].Label, n.Distance)
+	}
+	fmt.Printf("scan       : %d candidates, %d full computations, %d abandoned early, %d pruned by envelope (%.1f%% of the scan skipped)\n",
+		stats.Candidates, stats.Completed, stats.AbandonedEarly, stats.PrunedByEnvelope,
+		100*float64(stats.Candidates-stats.Completed)/float64(stats.Candidates))
 }
 
 func loadDataset(csvPath, name string, series, length int, seed int64) (timeseries.Dataset, error) {

@@ -1,0 +1,3 @@
+module uncertts
+
+go 1.24

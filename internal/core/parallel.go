@@ -3,17 +3,16 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"uncertts/internal/query"
 )
 
 // EvaluateParallel is Evaluate with the per-query work fanned out across
-// workers goroutines (0 = GOMAXPROCS). Results are identical to Evaluate —
-// per-query metrics in query order — because queries are independent: every
-// matcher in this package is safe for concurrent Match calls after a single
-// Prepare (shared state is read-only or mutex-guarded, like the DUST
-// tables).
+// workers goroutines (0 = GOMAXPROCS) via the RunSharded work-stealing
+// executor. Results are identical to Evaluate — per-query metrics in query
+// order — because queries are independent: every matcher in this package is
+// safe for concurrent Match calls after a single Prepare (shared state is
+// read-only or mutex-guarded, like the DUST tables).
 func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]query.Metrics, error) {
 	if err := m.Prepare(w); err != nil {
 		return nil, fmt.Errorf("core: preparing %s: %w", m.Name(), err)
@@ -40,32 +39,18 @@ func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]que
 	}
 
 	out := make([]query.Metrics, len(queries))
-	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				met, err := EvaluateQuery(w, m, queries[idx])
-				if err != nil {
-					errs[idx] = err
-					continue
-				}
-				out[idx] = met
+	err := RunSharded(len(queries), 1, workers, func(lo, hi int) error {
+		for idx := lo; idx < hi; idx++ {
+			met, err := EvaluateQuery(w, m, queries[idx])
+			if err != nil {
+				return fmt.Errorf("core: %s on query %d: %w", m.Name(), queries[idx], err)
 			}
-		}()
-	}
-	for idx := range queries {
-		next <- idx
-	}
-	close(next)
-	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: %s on query %d: %w", m.Name(), queries[idx], err)
+			out[idx] = met
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

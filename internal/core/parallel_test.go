@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -84,3 +85,42 @@ var errInjected = &injectedError{}
 type injectedError struct{}
 
 func (*injectedError) Error() string { return "injected failure" }
+
+func TestEvaluateParallelDeterministicUnderWorkerCounts(t *testing.T) {
+	// Run with -race in CI: the same prepared matcher is driven from many
+	// worker counts and from concurrent callers, and every run must produce
+	// the sequential answer bit for bit.
+	w := testWorkload(t, 0.5, 0)
+	m := NewUEMAMatcher(2, 1)
+	serial, err := Evaluate(w, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 16} {
+		got, err := EvaluateParallel(w, m, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: results differ from sequential", workers)
+		}
+	}
+	// Concurrent callers need their own matcher: EvaluateParallel runs
+	// Prepare, and the concurrency contract is one Prepare, many Matches.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := EvaluateParallel(w, NewUEMAMatcher(2, 1), nil, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Error("concurrent EvaluateParallel differs from sequential")
+			}
+		}()
+	}
+	wg.Wait()
+}

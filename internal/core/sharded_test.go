@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunShardedCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, chunk := range []int{0, 1, 3, 64, 5000} {
+			for _, workers := range []int{0, 1, 2, 8, 64} {
+				hits := make([]int32, n)
+				err := RunSharded(n, chunk, workers, func(lo, hi int) error {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d chunk=%d workers=%d: %v", n, chunk, workers, err)
+				}
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d chunk=%d workers=%d: index %d hit %d times", n, chunk, workers, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunShardedPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := RunSharded(100, 10, workers, func(lo, hi int) error {
+			if lo == 50 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestRunShardedStopsClaimingAfterError(t *testing.T) {
+	// With a single worker the executor must stop at the failing chunk.
+	var ran atomic.Int64
+	err := RunSharded(100, 10, 1, func(lo, hi int) error {
+		ran.Add(1)
+		if lo == 20 {
+			return errors.New("stop here")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("single worker ran %d chunks after failure at the third, want 3", got)
+	}
+}

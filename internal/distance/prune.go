@@ -1,0 +1,176 @@
+package distance
+
+// Pruning primitives for the query engine: early-abandoning accumulation
+// for lock-step distances, and the LB_Keogh envelope lower bound for banded
+// DTW. Both let a top-k or range scan discard most candidates after a small
+// prefix of the work — the classic UCR-suite tricks, applied here above the
+// uncertain-similarity measures.
+
+import (
+	"fmt"
+	"math"
+)
+
+// SquaredEuclideanEarlyAbandon accumulates the squared L2 distance between
+// x and y, abandoning as soon as the running sum exceeds cutoff. It returns
+// the accumulated sum and whether the scan ran to completion. A completed
+// scan returns exactly the value SquaredEuclidean would (same accumulation
+// order), and completion implies sum <= cutoff. cutoff = +Inf never
+// abandons.
+func SquaredEuclideanEarlyAbandon(x, y []float64, cutoff float64) (float64, bool, error) {
+	if len(x) != len(y) {
+		return 0, false, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
+	}
+	var acc float64
+	for i := range x {
+		d := x[i] - y[i]
+		acc += d * d
+		if acc > cutoff {
+			return acc, false, nil
+		}
+	}
+	return acc, true, nil
+}
+
+// Envelope returns the upper and lower running-extremum envelopes of y
+// within a Sakoe-Chiba band of half-width r:
+//
+//	upper[i] = max(y[i-r .. i+r])    lower[i] = min(y[i-r .. i+r])
+//
+// computed in O(n) with monotonic deques. r < 0 (unconstrained DTW) uses
+// the whole series as the window. The envelopes feed LBKeoghSquared.
+func Envelope(y []float64, r int) (upper, lower []float64) {
+	n := len(y)
+	upper = make([]float64, n)
+	lower = make([]float64, n)
+	if n == 0 {
+		return upper, lower
+	}
+	if r < 0 || r >= n {
+		r = n - 1
+	}
+	// Monotonic index deques: maxDQ keeps decreasing values, minDQ keeps
+	// increasing values, over the sliding window [i-r, i+r].
+	maxDQ := make([]int, 0, n)
+	minDQ := make([]int, 0, n)
+	push := func(j int) {
+		for len(maxDQ) > 0 && y[maxDQ[len(maxDQ)-1]] <= y[j] {
+			maxDQ = maxDQ[:len(maxDQ)-1]
+		}
+		maxDQ = append(maxDQ, j)
+		for len(minDQ) > 0 && y[minDQ[len(minDQ)-1]] >= y[j] {
+			minDQ = minDQ[:len(minDQ)-1]
+		}
+		minDQ = append(minDQ, j)
+	}
+	for j := 0; j <= r && j < n; j++ {
+		push(j)
+	}
+	for i := 0; i < n; i++ {
+		if in := i + r; in < n && in > r {
+			// indices <= r were pushed in the warm-up loop above
+			push(in)
+		}
+		if out := i - r - 1; out >= 0 {
+			if maxDQ[0] == out {
+				maxDQ = maxDQ[1:]
+			}
+			if minDQ[0] == out {
+				minDQ = minDQ[1:]
+			}
+		}
+		upper[i] = y[maxDQ[0]]
+		lower[i] = y[minDQ[0]]
+	}
+	return upper, lower
+}
+
+// LBKeoghSquared returns the LB_Keogh lower bound on the squared optimal
+// path cost of banded DTW between q and the series whose envelopes are
+// (upper, lower): every q[i] must align with some y[j] inside the band, so
+// its cheapest possible point cost is its squared distance to the envelope.
+// DTWBand returns the square root of the path cost, so
+// LBKeoghSquared(q, U, L) <= DTWBand(q, y, r)^2 always holds.
+//
+// The scan abandons once the partial bound exceeds cutoff (pass +Inf to
+// force a full evaluation); either way the returned value is a valid lower
+// bound.
+func LBKeoghSquared(q, upper, lower []float64, cutoff float64) (float64, error) {
+	if len(q) != len(upper) || len(q) != len(lower) {
+		return 0, fmt.Errorf("%w: series %d vs envelope %d/%d", ErrLengthMismatch, len(q), len(upper), len(lower))
+	}
+	var acc float64
+	for i := range q {
+		if d := q[i] - upper[i]; d > 0 {
+			acc += d * d
+		} else if d := lower[i] - q[i]; d > 0 {
+			acc += d * d
+		}
+		if acc > cutoff {
+			return acc, nil
+		}
+	}
+	return acc, nil
+}
+
+// DTWBandEarlyAbandon is DTWBand with a cutoff on the squared path cost:
+// once every reachable cell of a DP row exceeds cutoff, no completion can
+// come in under it and the scan abandons. It returns the distance (the
+// square root of the path cost, identical to DTWBand when complete) and
+// whether the computation completed. Completion implies dist^2 <= cutoff
+// up to the final-cell check; cutoff = +Inf never abandons.
+func DTWBandEarlyAbandon(x, y []float64, band int, cutoff float64) (float64, bool, error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, false, fmt.Errorf("distance: DTW over empty series")
+	}
+	if band >= 0 && abs(n-m) > band {
+		return 0, false, fmt.Errorf("distance: DTW band %d narrower than length difference %d", band, abs(n-m))
+	}
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range curr {
+			curr[j] = math.Inf(1)
+		}
+		lo, hi := 1, m
+		if band >= 0 {
+			if l := i - band; l > lo {
+				lo = l
+			}
+			if h := i + band; h < hi {
+				hi = h
+			}
+		}
+		rowMin := math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			d := x[i-1] - y[j-1]
+			cost := d * d
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if curr[j-1] < best {
+				best = curr[j-1]
+			}
+			curr[j] = cost + best
+			if curr[j] < rowMin {
+				rowMin = curr[j]
+			}
+		}
+		// Path costs are non-decreasing along any warping path, so once the
+		// cheapest cell of a row exceeds the cutoff the final cost must too.
+		if rowMin > cutoff {
+			return math.Sqrt(rowMin), false, nil
+		}
+		prev, curr = curr, prev
+	}
+	if prev[m] > cutoff {
+		return math.Sqrt(prev[m]), false, nil
+	}
+	return math.Sqrt(prev[m]), true, nil
+}

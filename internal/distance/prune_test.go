@@ -1,0 +1,148 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestSquaredEuclideanEarlyAbandonMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x, y := randSeries(rng, 64), randSeries(rng, 64)
+		want, err := SquaredEuclidean(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, complete, err := SquaredEuclideanEarlyAbandon(x, y, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !complete || got != want {
+			t.Fatalf("cutoff=+Inf: got (%v, %v), want (%v, true)", got, complete, want)
+		}
+		// A cutoff at the exact value completes; anything below abandons.
+		if _, complete, _ := SquaredEuclideanEarlyAbandon(x, y, want); !complete {
+			t.Fatal("cutoff == distance should complete")
+		}
+		if got, complete, _ := SquaredEuclideanEarlyAbandon(x, y, want/2); complete {
+			t.Fatal("cutoff below distance should abandon")
+		} else if got <= want/2 {
+			t.Fatalf("abandoned partial %v should exceed cutoff %v", got, want/2)
+		}
+	}
+}
+
+func TestSquaredEuclideanEarlyAbandonLengthMismatch(t *testing.T) {
+	if _, _, err := SquaredEuclideanEarlyAbandon([]float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestEnvelopeBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 7, 33} {
+		for _, r := range []int{-1, 0, 1, 3, 100} {
+			y := randSeries(rng, n)
+			upper, lower := Envelope(y, r)
+			for i := 0; i < n; i++ {
+				lo, hi := i-r, i+r
+				if r < 0 || r >= n {
+					lo, hi = 0, n-1
+				}
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > n-1 {
+					hi = n - 1
+				}
+				wantU, wantL := math.Inf(-1), math.Inf(1)
+				for j := lo; j <= hi; j++ {
+					wantU = math.Max(wantU, y[j])
+					wantL = math.Min(wantL, y[j])
+				}
+				if upper[i] != wantU || lower[i] != wantL {
+					t.Fatalf("n=%d r=%d i=%d: envelope (%v, %v), want (%v, %v)",
+						n, r, i, upper[i], lower[i], wantU, wantL)
+				}
+			}
+		}
+	}
+}
+
+func TestLBKeoghLowerBoundsBandedDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 48
+		q, y := randSeries(rng, n), randSeries(rng, n)
+		for _, band := range []int{0, 2, 5, n} {
+			upper, lower := Envelope(y, band)
+			lb, err := LBKeoghSquared(q, upper, lower, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := DTWBand(q, y, band)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > d*d*(1+1e-12) {
+				t.Fatalf("band=%d: LB_Keogh %v exceeds DTW^2 %v", band, lb, d*d)
+			}
+		}
+	}
+}
+
+func TestLBKeoghEnvelopeSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y := randSeries(rng, 32)
+	upper, lower := Envelope(y, 3)
+	lb, err := LBKeoghSquared(y, upper, lower, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 0 {
+		t.Fatalf("series inside its own envelope must have zero bound, got %v", lb)
+	}
+}
+
+func TestDTWBandEarlyAbandonMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		q, y := randSeries(rng, 40), randSeries(rng, 40)
+		for _, band := range []int{-1, 0, 4, 10} {
+			want, err := DTWBand(q, y, band)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, complete, err := DTWBandEarlyAbandon(q, y, band, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !complete || got != want {
+				t.Fatalf("band=%d: got (%v, %v), want (%v, true)", band, got, complete, want)
+			}
+			if got, complete, _ := DTWBandEarlyAbandon(q, y, band, want*want/4); complete {
+				t.Fatalf("band=%d: cutoff below cost should abandon", band)
+			} else if got*got <= want*want/4*(1-1e-12) {
+				t.Fatalf("band=%d: abandoned partial %v should exceed cutoff", band, got)
+			}
+		}
+	}
+}
+
+func TestDTWBandEarlyAbandonErrors(t *testing.T) {
+	if _, _, err := DTWBandEarlyAbandon(nil, []float64{1}, -1, 1); err == nil {
+		t.Fatal("want empty-series error")
+	}
+	if _, _, err := DTWBandEarlyAbandon([]float64{1, 2, 3}, []float64{1}, 1, 1); err == nil {
+		t.Fatal("want band-too-narrow error")
+	}
+}

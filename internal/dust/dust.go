@@ -321,6 +321,38 @@ func (d *Dust) Distance(q, c uncertain.PDFSeries) (float64, error) {
 	return math.Sqrt(acc), nil
 }
 
+// DistanceEarlyAbandon is Distance with a cutoff on the accumulated squared
+// per-timestamp dust values: once the running sum of Equation 13 exceeds
+// cutoff the scan abandons, returning the partial accumulation and false. A
+// completed scan returns exactly the value Distance would (same
+// accumulation order), and completion implies dist^2 <= cutoff. The query
+// engine uses this with the current k-th-best distance as the cutoff,
+// sharing one evaluator — and therefore one set of phi lookup tables —
+// across a whole batch of queries.
+func (d *Dust) DistanceEarlyAbandon(q, c uncertain.PDFSeries, cutoff float64) (float64, bool, error) {
+	if err := q.Validate(); err != nil {
+		return 0, false, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, false, err
+	}
+	if q.Len() != c.Len() {
+		return 0, false, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, q.Len(), c.Len())
+	}
+	var acc float64
+	for i := 0; i < q.Len(); i++ {
+		v, err := d.Value(q.Observations[i], c.Observations[i], q.Errors[i], c.Errors[i])
+		if err != nil {
+			return 0, false, fmt.Errorf("dust: timestamp %d: %w", i, err)
+		}
+		acc += v * v
+		if acc > cutoff {
+			return math.Sqrt(acc), false, nil
+		}
+	}
+	return math.Sqrt(acc), true, nil
+}
+
 // DistanceDTW combines per-timestamp dust values under dynamic time
 // warping instead of lock-step alignment (Section 3.2 notes MUNICH and DUST
 // support DTW). The DP minimises the sum of squared dust values along the

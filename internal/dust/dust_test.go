@@ -355,3 +355,46 @@ func TestExponentialClosedFormAgreement(t *testing.T) {
 		}
 	}
 }
+
+func TestDistanceEarlyAbandon(t *testing.T) {
+	d := New(Options{})
+	errDist := stats.NewNormal(0, 0.5)
+	q := constSeries(0, []float64{0, 1, 2, 3, 2, 1, 0, -1}, errDist)
+	c := constSeries(1, []float64{1, 0, 3, 2, 1, 2, -1, 0}, errDist)
+
+	want, err := d.Distance(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, complete, err := d.DistanceEarlyAbandon(q, c, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete || got != want {
+		t.Fatalf("cutoff=+Inf: got (%v, %v), want (%v, true)", got, complete, want)
+	}
+	// A cutoff a hair above the squared distance completes (want*want itself
+	// can round below the true accumulated sum); half of it abandons with a
+	// partial value already past the cutoff.
+	if _, complete, err := d.DistanceEarlyAbandon(q, c, want*want*(1+1e-12)); err != nil || !complete {
+		t.Fatalf("cutoff just above dist^2 should complete (err=%v)", err)
+	}
+	cut := want * want / 2
+	got, complete, err = d.DistanceEarlyAbandon(q, c, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatal("cutoff below dist^2 should abandon")
+	}
+	if got*got <= cut {
+		t.Fatalf("abandoned partial %v should exceed cutoff %v", got*got, cut)
+	}
+
+	if _, _, err := d.DistanceEarlyAbandon(q, constSeries(2, []float64{1}, errDist), 1); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, _, err := d.DistanceEarlyAbandon(q, uncertain.PDFSeries{}, 1); err == nil {
+		t.Fatal("want validation error")
+	}
+}

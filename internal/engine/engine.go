@@ -1,0 +1,536 @@
+// Package engine is the query-serving layer of the reproduction: a top-k /
+// range similarity engine that sits above the matchers of internal/core and
+// prunes aggressively before any work reaches the hot distance kernels.
+//
+// Three pruning devices, one per family of measures:
+//
+//   - lock-step measures (Euclidean, UMA, UEMA over the filtered series)
+//     early-abandon the squared-distance accumulation once the running sum
+//     exceeds the current k-th best;
+//   - banded DTW first checks the LB_Keogh envelope lower bound and only
+//     runs the DP — itself early-abandoning per row — when the bound cannot
+//     exclude the candidate;
+//   - DUST early-abandons the Equation 13 accumulation and shares a single
+//     evaluator, and therefore a single set of phi lookup tables, across
+//     every query of a batch.
+//
+// Execution is batched and sharded: the candidate space of every query is
+// cut into shards and the (query, shard) pairs are drained by the chunked
+// work-stealing executor of internal/core (RunSharded). Workers cooperate
+// through a per-query atomic bound — the best k-th distance any shard has
+// proven so far — which tightens pruning across shard boundaries while
+// staying exact: a published bound is always the k-th best of a subset of
+// candidates, hence an upper bound on the true k-th distance, so a
+// candidate abandoned against it can never belong to the answer. Results
+// are therefore bit-identical to the naive full scan for every worker
+// count, which the tests assert.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"uncertts/internal/core"
+	"uncertts/internal/distance"
+	"uncertts/internal/dust"
+	"uncertts/internal/query"
+	"uncertts/internal/timeseries"
+)
+
+// Measure selects the similarity measure the engine serves.
+type Measure int
+
+const (
+	// MeasureEuclidean scans the perturbed observations with plain
+	// Euclidean distance (the Section 4.1.2 baseline).
+	MeasureEuclidean Measure = iota
+	// MeasureUMA scans UMA-filtered series (Eq. 17) with Euclidean
+	// distance.
+	MeasureUMA
+	// MeasureUEMA scans UEMA-filtered series (Eq. 18) with Euclidean
+	// distance.
+	MeasureUEMA
+	// MeasureDTW scans the perturbed observations with Sakoe-Chiba banded
+	// DTW, pruned by LB_Keogh.
+	MeasureDTW
+	// MeasureDUST scans with the DUST dissimilarity (Equation 13), sharing
+	// one set of phi tables across the batch.
+	MeasureDUST
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	switch m {
+	case MeasureEuclidean:
+		return "Euclidean"
+	case MeasureUMA:
+		return "UMA"
+	case MeasureUEMA:
+		return "UEMA"
+	case MeasureDTW:
+		return "DTW"
+	case MeasureDUST:
+		return "DUST"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Measure selects the similarity measure (default Euclidean).
+	Measure Measure
+	// Band is the Sakoe-Chiba half-width for MeasureDTW. Zero derives
+	// max(1, n/10) from the series length n (the usual warping-window
+	// heuristic); negative means unconstrained warping.
+	Band int
+	// W is the filter window half-width for UMA/UEMA (0 = the paper's 2).
+	W int
+	// Lambda is the UEMA decay (0 = the paper's 1).
+	Lambda float64
+	// Mode selects the Eq. 17/18 weight normalisation for UMA/UEMA.
+	Mode timeseries.WeightMode
+	// Workers bounds the executor's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// ShardSize is the number of candidates per work shard (0 = 64).
+	ShardSize int
+	// NoPrune disables every pruning device, forcing the naive full scan.
+	// It exists as the reference arm of the engine benchmarks and tests.
+	NoPrune bool
+	// DUST configures the shared evaluator for MeasureDUST.
+	DUST dust.Options
+}
+
+// Stats counts the engine's work since construction (or the last
+// ResetStats). The accounting identity Candidates = Completed +
+// AbandonedEarly + PrunedByEnvelope always holds.
+type Stats struct {
+	// Candidates is the number of query-candidate pairs examined.
+	Candidates int64
+	// Completed is the number of full distance computations that ran to
+	// completion — the figure pruning exists to minimise.
+	Completed int64
+	// AbandonedEarly counts scans abandoned mid-accumulation.
+	AbandonedEarly int64
+	// PrunedByEnvelope counts candidates excluded by LB_Keogh alone,
+	// without touching the DTW kernel.
+	PrunedByEnvelope int64
+}
+
+// Engine answers pruned top-k and range similarity queries over a prepared
+// workload. It is safe for concurrent use.
+type Engine struct {
+	w    *core.Workload
+	opts Options
+	band int
+
+	vecs         [][]float64 // scanned vectors (observations or filtered)
+	upper, lower [][]float64 // per-series LB_Keogh envelopes (DTW only)
+	dust         *dust.Dust  // shared evaluator (DUST only)
+
+	candidates atomic.Int64
+	completed  atomic.Int64
+	abandoned  atomic.Int64
+	pruned     atomic.Int64
+}
+
+// New builds an engine over the workload, precomputing the per-measure
+// derived representation: filtered series for UMA/UEMA, envelopes for DTW,
+// the shared evaluator for DUST.
+func New(w *core.Workload, opts Options) (*Engine, error) {
+	if w == nil || w.Len() == 0 {
+		return nil, errors.New("engine: nil or empty workload")
+	}
+	if opts.W == 0 {
+		opts.W = 2
+	}
+	if opts.Lambda == 0 {
+		opts.Lambda = 1
+	}
+	if opts.ShardSize <= 0 {
+		opts.ShardSize = 64
+	}
+	e := &Engine{w: w, opts: opts}
+	n := w.SeriesLen()
+
+	switch opts.Measure {
+	case MeasureEuclidean:
+		e.vecs = observations(w)
+	case MeasureUMA, MeasureUEMA:
+		e.vecs = make([][]float64, w.Len())
+		for i, ps := range w.PDF {
+			var f []float64
+			var err error
+			if opts.Measure == MeasureUMA {
+				f, err = timeseries.UncertainMovingAverage(ps.Observations, w.Sigmas, opts.W, opts.Mode)
+			} else {
+				f, err = timeseries.UncertainExponentialMovingAverage(ps.Observations, w.Sigmas, opts.W, opts.Lambda, opts.Mode)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("engine: filtering series %d: %w", ps.ID, err)
+			}
+			e.vecs[i] = f
+		}
+	case MeasureDTW:
+		e.vecs = observations(w)
+		e.band = opts.Band
+		if e.band == 0 {
+			e.band = n / 10
+			if e.band < 1 {
+				e.band = 1
+			}
+		}
+		e.upper = make([][]float64, w.Len())
+		e.lower = make([][]float64, w.Len())
+		for i, v := range e.vecs {
+			e.upper[i], e.lower[i] = distance.Envelope(v, e.band)
+		}
+	case MeasureDUST:
+		e.dust = dust.New(opts.DUST)
+	default:
+		return nil, fmt.Errorf("engine: unknown measure %v", opts.Measure)
+	}
+	return e, nil
+}
+
+func observations(w *core.Workload) [][]float64 {
+	out := make([][]float64, w.Len())
+	for i, ps := range w.PDF {
+		out[i] = ps.Observations
+	}
+	return out
+}
+
+// Measure reports the measure the engine was built for.
+func (e *Engine) Measure() Measure { return e.opts.Measure }
+
+// Stats returns a snapshot of the work counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Candidates:       e.candidates.Load(),
+		Completed:        e.completed.Load(),
+		AbandonedEarly:   e.abandoned.Load(),
+		PrunedByEnvelope: e.pruned.Load(),
+	}
+}
+
+// ResetStats zeroes the work counters.
+func (e *Engine) ResetStats() {
+	e.candidates.Store(0)
+	e.completed.Store(0)
+	e.abandoned.Store(0)
+	e.pruned.Store(0)
+}
+
+// distPruned evaluates the measure's distance between query qi and
+// candidate ci under a cutoff in squared-distance space. It returns the
+// exact distance and true when the computation completed (which implies
+// dist^2 <= cutoff2); a false return means the candidate was excluded by a
+// lower bound or abandoned mid-scan and cannot have distance <= the
+// distance whose square the cutoff came from.
+func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) {
+	e.candidates.Add(1)
+	if e.opts.NoPrune {
+		cutoff2 = math.Inf(1)
+	}
+	switch e.opts.Measure {
+	case MeasureEuclidean, MeasureUMA, MeasureUEMA:
+		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(e.vecs[qi], e.vecs[ci], cutoff2)
+		if err != nil {
+			return 0, false, err
+		}
+		if !complete {
+			e.abandoned.Add(1)
+			return 0, false, nil
+		}
+		e.completed.Add(1)
+		return math.Sqrt(d2), true, nil
+	case MeasureDTW:
+		lb, err := distance.LBKeoghSquared(e.vecs[qi], e.upper[ci], e.lower[ci], cutoff2)
+		if err != nil {
+			return 0, false, err
+		}
+		if lb > cutoff2 {
+			e.pruned.Add(1)
+			return 0, false, nil
+		}
+		d, complete, err := distance.DTWBandEarlyAbandon(e.vecs[qi], e.vecs[ci], e.band, cutoff2)
+		if err != nil {
+			return 0, false, err
+		}
+		if !complete {
+			e.abandoned.Add(1)
+			return 0, false, nil
+		}
+		e.completed.Add(1)
+		return d, true, nil
+	case MeasureDUST:
+		d, complete, err := e.dust.DistanceEarlyAbandon(e.w.PDF[qi], e.w.PDF[ci], cutoff2)
+		if err != nil {
+			return 0, false, err
+		}
+		if !complete {
+			e.abandoned.Add(1)
+			return 0, false, nil
+		}
+		e.completed.Add(1)
+		return d, true, nil
+	default:
+		return 0, false, fmt.Errorf("engine: unknown measure %v", e.opts.Measure)
+	}
+}
+
+// Distance returns the measure's exact distance between two series of the
+// workload (no pruning) — the reference the pruned paths must agree with.
+func (e *Engine) Distance(qi, ci int) (float64, error) {
+	if err := e.checkIndex(qi); err != nil {
+		return 0, err
+	}
+	if err := e.checkIndex(ci); err != nil {
+		return 0, err
+	}
+	d, _, err := e.distPruned(qi, ci, math.Inf(1))
+	return d, err
+}
+
+func (e *Engine) checkIndex(i int) error {
+	if i < 0 || i >= e.w.Len() {
+		return fmt.Errorf("engine: series index %d outside [0, %d)", i, e.w.Len())
+	}
+	return nil
+}
+
+// sharedBound is a monotonically decreasing float64 shared across the
+// workers of one query: the tightest proven upper bound on the k-th best
+// squared distance.
+type sharedBound struct{ bits atomic.Uint64 }
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// lower publishes v if it improves (decreases) the bound.
+func (b *sharedBound) lower(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// kHeap is a bounded max-heap over distances: it retains the k smallest
+// values seen and exposes the current k-th best as the pruning bound.
+type kHeap struct {
+	k  int
+	ds []float64
+}
+
+func newKHeap(k int) *kHeap { return &kHeap{k: k, ds: make([]float64, 0, k)} }
+
+func (h *kHeap) full() bool { return len(h.ds) >= h.k }
+
+// top returns the largest retained distance (only meaningful when full).
+func (h *kHeap) top() float64 { return h.ds[0] }
+
+func (h *kHeap) push(d float64) {
+	if len(h.ds) < h.k {
+		h.ds = append(h.ds, d)
+		// sift up
+		i := len(h.ds) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.ds[p] >= h.ds[i] {
+				break
+			}
+			h.ds[p], h.ds[i] = h.ds[i], h.ds[p]
+			i = p
+		}
+		return
+	}
+	if d >= h.ds[0] {
+		return
+	}
+	h.ds[0] = d
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.ds) && h.ds[l] > h.ds[big] {
+			big = l
+		}
+		if r < len(h.ds) && h.ds[r] > h.ds[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.ds[i], h.ds[big] = h.ds[big], h.ds[i]
+		i = big
+	}
+}
+
+// ulpUp inflates a squared bound by a few ulps so the sqrt-then-square
+// round-trip (distances are stored as sqrt, bounds as squares) can never
+// exclude a candidate that ties the k-th best exactly. The relative 1e-15
+// margin is ~4 ulps — far above the round-trip error, far below any real
+// distance gap — and costs no measurable pruning.
+func ulpUp(v float64) float64 { return v + v*1e-15 }
+
+// TopK returns the k nearest neighbours of query qi under the engine's
+// measure, excluding qi itself, sorted by ascending distance with ties
+// broken by ID — exactly what a naive full scan (query.TopK over the exact
+// distance) returns.
+func (e *Engine) TopK(qi, k int) ([]query.Neighbor, error) {
+	res, err := e.TopKBatch([]int{qi}, k)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// TopKBatch answers the top-k query for every query index in one batched,
+// sharded, work-stealing pass. Results are per-query, in input order, and
+// identical to running TopK on each query alone — or to the naive scan —
+// for every worker count.
+func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("engine: k = %d must be positive", k)
+	}
+	for _, qi := range queries {
+		if err := e.checkIndex(qi); err != nil {
+			return nil, err
+		}
+	}
+	n := e.w.Len()
+	shardSize := e.opts.ShardSize
+	numShards := (n + shardSize - 1) / shardSize
+
+	bounds := make([]*sharedBound, len(queries))
+	for i := range bounds {
+		bounds[i] = newSharedBound()
+	}
+	// One retained-candidate bucket per (query, shard) pair; written by
+	// exactly one worker each, merged after the barrier.
+	buckets := make([][]query.Neighbor, len(queries)*numShards)
+
+	err := core.RunSharded(len(queries)*numShards, 1, e.opts.Workers, func(lo, hi int) error {
+		for item := lo; item < hi; item++ {
+			q, shard := item/numShards, item%numShards
+			qi := queries[q]
+			cLo, cHi := shard*shardSize, (shard+1)*shardSize
+			if cHi > n {
+				cHi = n
+			}
+			local := newKHeap(k)
+			var kept []query.Neighbor
+			for ci := cLo; ci < cHi; ci++ {
+				if ci == qi {
+					continue
+				}
+				cut := bounds[q].get()
+				if local.full() {
+					if t := ulpUp(local.top() * local.top()); t < cut {
+						cut = t
+					}
+				}
+				d, ok, err := e.distPruned(qi, ci, cut)
+				if err != nil {
+					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+				}
+				if !ok {
+					continue
+				}
+				kept = append(kept, query.Neighbor{ID: ci, Distance: d})
+				local.push(d)
+				if local.full() {
+					bounds[q].lower(ulpUp(local.top() * local.top()))
+				}
+			}
+			buckets[item] = kept
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]query.Neighbor, len(queries))
+	for q := range queries {
+		var all []query.Neighbor
+		for shard := 0; shard < numShards; shard++ {
+			all = append(all, buckets[q*numShards+shard]...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Distance != all[j].Distance {
+				return all[i].Distance < all[j].Distance
+			}
+			return all[i].ID < all[j].ID
+		})
+		if k < len(all) {
+			all = all[:k]
+		}
+		out[q] = all
+	}
+	return out, nil
+}
+
+// Range returns the IDs of every series within eps of query qi under the
+// engine's measure, excluding qi, in ascending ID order — identical to
+// query.RangeQueryFunc over the exact distance.
+func (e *Engine) Range(qi int, eps float64) ([]int, error) {
+	if err := e.checkIndex(qi); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(eps) || eps < 0 {
+		return nil, errors.New("engine: eps must be non-negative")
+	}
+	n := e.w.Len()
+	shardSize := e.opts.ShardSize
+	numShards := (n + shardSize - 1) / shardSize
+	cutoff2 := ulpUp(eps * eps)
+
+	buckets := make([][]int, numShards)
+	err := core.RunSharded(numShards, 1, e.opts.Workers, func(lo, hi int) error {
+		for shard := lo; shard < hi; shard++ {
+			cLo, cHi := shard*shardSize, (shard+1)*shardSize
+			if cHi > n {
+				cHi = n
+			}
+			var ids []int
+			for ci := cLo; ci < cHi; ci++ {
+				if ci == qi {
+					continue
+				}
+				d, ok, err := e.distPruned(qi, ci, cutoff2)
+				if err != nil {
+					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+				}
+				if ok && d <= eps {
+					ids = append(ids, ci)
+				}
+			}
+			buckets[shard] = ids
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, ids := range buckets {
+		out = append(out, ids...)
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"uncertts/internal/core"
+	"uncertts/internal/query"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+func testWorkload(t testing.TB, series, length int) *core.Workload {
+	t.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: series, Length: length, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.5, length, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// naiveTopK is the reference full scan: query.TopK over the engine's own
+// exact Distance.
+func naiveTopK(t *testing.T, e *Engine, qi, k int) []query.Neighbor {
+	t.Helper()
+	nn, err := query.TopK(e.w.Len(), qi, func(ci int) (float64, error) {
+		return e.Distance(qi, ci)
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn
+}
+
+func allMeasures() []Options {
+	return []Options{
+		{Measure: MeasureEuclidean},
+		{Measure: MeasureUMA},
+		{Measure: MeasureUEMA, Lambda: 0.8},
+		{Measure: MeasureDTW, Band: 5},
+		{Measure: MeasureDUST},
+	}
+}
+
+func TestTopKMatchesNaiveScanEveryMeasure(t *testing.T) {
+	w := testWorkload(t, 40, 64)
+	for _, opts := range allMeasures() {
+		opts.ShardSize = 7 // force many shards
+		e, err := New(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 3, 10, 100} {
+			for _, qi := range []int{0, 13, 39} {
+				want := naiveTopK(t, e, qi, k)
+				got, err := e.TopK(qi, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: TopK(q=%d, k=%d) = %v, want %v", opts.Measure, qi, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKBatchDeterministicUnderWorkerCounts(t *testing.T) {
+	w := testWorkload(t, 40, 64)
+	queries := []int{0, 5, 11, 23, 39}
+	for _, opts := range allMeasures() {
+		opts.ShardSize = 8
+		var want [][]query.Neighbor
+		for _, workers := range []int{1, 2, 3, 8, 32} {
+			opts.Workers = workers
+			e, err := New(w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.TopKBatch(queries, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: workers=%d changed the batch answer", opts.Measure, workers)
+			}
+		}
+	}
+}
+
+func TestRangeMatchesNaiveScan(t *testing.T) {
+	w := testWorkload(t, 40, 64)
+	for _, opts := range allMeasures() {
+		opts.ShardSize = 6
+		e, err := New(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi := 4
+		// Pick an eps that catches a non-trivial subset: the exact distance
+		// to the 8th nearest neighbour.
+		nn := naiveTopK(t, e, qi, 8)
+		eps := nn[len(nn)-1].Distance
+		want, err := query.RangeQueryFunc(w.Len(), qi, func(ci int) (float64, error) {
+			return e.Distance(qi, ci)
+		}, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Range(qi, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Range(%d, %g) = %v, want %v", opts.Measure, qi, eps, got, want)
+		}
+	}
+}
+
+func TestPruningDoesMeasurablyLessWork(t *testing.T) {
+	w := testWorkload(t, 60, 96)
+	queries := make([]int, w.Len())
+	for i := range queries {
+		queries[i] = i
+	}
+	for _, opts := range []Options{
+		{Measure: MeasureEuclidean},
+		{Measure: MeasureDTW, Band: 5},
+		{Measure: MeasureDUST},
+	} {
+		pruned, err := New(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveOpts := opts
+		naiveOpts.NoPrune = true
+		naive, err := New(w, naiveOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := naive.TopKBatch(queries, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, err := pruned.TopKBatch(queries, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("%s: pruned batch differs from naive scan", opts.Measure)
+		}
+		ps, ns := pruned.Stats(), naive.Stats()
+		if ps.Candidates != ns.Candidates {
+			t.Errorf("%s: candidate counts differ: %d vs %d", opts.Measure, ps.Candidates, ns.Candidates)
+		}
+		if ns.Completed != ns.Candidates {
+			t.Errorf("%s: naive arm must complete every candidate (%+v)", opts.Measure, ns)
+		}
+		if got := ps.Completed + ps.AbandonedEarly + ps.PrunedByEnvelope; got != ps.Candidates {
+			t.Errorf("%s: stats identity broken: %+v", opts.Measure, ps)
+		}
+		// The acceptance bar: measurably fewer full distance computations.
+		if ps.Completed >= ns.Completed/2 {
+			t.Errorf("%s: pruning completed %d of %d full computations, want < half",
+				opts.Measure, ps.Completed, ns.Completed)
+		}
+	}
+}
+
+func TestTopKBatchConcurrentUseIsSafe(t *testing.T) {
+	// Multiple goroutines share one engine (and, for DUST, one set of phi
+	// tables); run with -race in CI.
+	w := testWorkload(t, 30, 48)
+	for _, opts := range []Options{{Measure: MeasureEuclidean, Workers: 4, ShardSize: 5}, {Measure: MeasureDUST, Workers: 2, ShardSize: 8}} {
+		e, err := New(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.TopKBatch([]int{0, 1, 2}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, err := e.TopKBatch([]int{0, 1, 2}, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent batch answer differs")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	w := testWorkload(t, 20, 32)
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil workload should error")
+	}
+	if _, err := New(w, Options{Measure: Measure(99)}); err == nil {
+		t.Error("unknown measure should error")
+	}
+	e, err := New(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TopK(99, 3); err == nil {
+		t.Error("out-of-range query should error")
+	}
+	if _, err := e.TopK(0, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := e.Range(0, -1); err == nil {
+		t.Error("negative eps should error")
+	}
+	if _, err := e.Range(0, math.NaN()); err == nil {
+		t.Error("NaN eps should error")
+	}
+	if _, err := e.Distance(0, 99); err == nil {
+		t.Error("out-of-range candidate should error")
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	for m, want := range map[Measure]string{
+		MeasureEuclidean: "Euclidean",
+		MeasureUMA:       "UMA",
+		MeasureUEMA:      "UEMA",
+		MeasureDTW:       "DTW",
+		MeasureDUST:      "DUST",
+		Measure(42):      "Measure(42)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Measure(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	w := testWorkload(t, 20, 32)
+	e, err := New(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TopK(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Candidates == 0 {
+		t.Fatal("expected work to be counted")
+	}
+	e.ResetStats()
+	if s := e.Stats(); s != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}

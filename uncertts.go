@@ -40,6 +40,7 @@ import (
 	"uncertts/internal/core"
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
+	"uncertts/internal/engine"
 	"uncertts/internal/experiments"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
@@ -259,6 +260,42 @@ func Evaluate(w *Workload, m Matcher, queries []int) ([]Metrics, error) {
 // given number of workers (0 = GOMAXPROCS); results are identical.
 func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]Metrics, error) {
 	return core.EvaluateParallel(w, m, queries, workers)
+}
+
+// ---- Query engine ----
+
+// QueryEngine is the pruned top-k / range similarity engine: it serves the
+// MUNICH/PROUD/DUST/UMA-family measures over a workload with early
+// abandoning, LB_Keogh envelope pruning (banded DTW) and shared DUST phi
+// tables, executing batches on a sharded work-stealing pool. Answers are
+// exact — identical to the naive full scan — for every worker count.
+type QueryEngine = engine.Engine
+
+// QueryEngineOptions configures a QueryEngine.
+type QueryEngineOptions = engine.Options
+
+// QueryEngineStats counts the engine's work (candidates examined, full
+// computations, early abandons, envelope prunes).
+type QueryEngineStats = engine.Stats
+
+// QueryMeasure selects the similarity measure a QueryEngine serves.
+type QueryMeasure = engine.Measure
+
+// Query engine measures.
+const (
+	MeasureEuclidean = engine.MeasureEuclidean
+	MeasureUMA       = engine.MeasureUMA
+	MeasureUEMA      = engine.MeasureUEMA
+	MeasureDTW       = engine.MeasureDTW
+	MeasureDUST      = engine.MeasureDUST
+)
+
+// Neighbor pairs a series ID with its distance from a query.
+type Neighbor = query.Neighbor
+
+// NewQueryEngine builds a pruned query engine over the workload.
+func NewQueryEngine(w *Workload, opts QueryEngineOptions) (*QueryEngine, error) {
+	return engine.New(w, opts)
 }
 
 // CalibrateTau finds the best probability threshold for a probabilistic

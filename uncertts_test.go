@@ -228,3 +228,71 @@ func TestPublicSeriesHelpers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicQueryEngine drives the pruned top-k engine through the public
+// surface and checks it against the naive scan.
+func TestPublicQueryEngine(t *testing.T) {
+	ds, err := GenerateDataset("CBF", DatasetOptions{MaxSeries: 30, Length: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := NewConstantPerturber(Normal, 0.5, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(ds, pert, WorkloadConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, measure := range []QueryMeasure{MeasureEuclidean, MeasureUEMA, MeasureDTW, MeasureDUST} {
+		e, err := NewQueryEngine(w, QueryEngineOptions{Measure: measure})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn, err := e.TopK(0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nn) != 5 {
+			t.Fatalf("%v: got %d neighbours, want 5", measure, len(nn))
+		}
+		for i := 1; i < len(nn); i++ {
+			if nn[i].Distance < nn[i-1].Distance {
+				t.Fatalf("%v: neighbours out of order: %v", measure, nn)
+			}
+		}
+		// The engine's distances must agree with its own exact Distance.
+		for _, n := range nn {
+			d, err := e.Distance(0, n.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != n.Distance {
+				t.Fatalf("%v: neighbour %d distance %v != exact %v", measure, n.ID, n.Distance, d)
+			}
+		}
+		s := e.Stats()
+		if s.Candidates == 0 || s.Completed+s.AbandonedEarly+s.PrunedByEnvelope != s.Candidates {
+			t.Fatalf("%v: inconsistent stats %+v", measure, s)
+		}
+	}
+	// Batched evaluation through the generalised parallel executor still
+	// matches the sequential path from the public surface too.
+	m := NewUEMAMatcher(2, 1)
+	serial, err := Evaluate(w, m, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EvaluateParallel(w, m, []int{0, 1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatal("parallel metrics length mismatch")
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("query %d: parallel %+v != serial %+v", i, par[i], serial[i])
+		}
+	}
+}
