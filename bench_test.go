@@ -422,3 +422,113 @@ func BenchmarkTopKSingleThread(b *testing.B) {
 		benchEngineTopK(b, engine.Options{Measure: engine.MeasureDTW, Workers: 1})
 	})
 }
+
+// ---- Probabilistic engine benches: ProbRange pruned versus naive ----
+
+// probBenchWorkload carries the repeated-observation model so both
+// probabilistic measures can run. MUNICH's refine step (histogram
+// convolution) dominates, so the workload is kept moderate and the
+// estimator resolution reduced — identically in both arms.
+func probBenchWorkload(b *testing.B, series, length int) *core.Workload {
+	b.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: series, Length: length, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.2, length, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5, SamplesPerTS: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchProbRange answers the probabilistic range query for every series
+// per iteration and reports the share of candidates that needed the full
+// refine step (full-refine/op: 1.0 means no pruning).
+func benchProbRange(b *testing.B, w *core.Workload, opts engine.Options, tau float64) {
+	b.Helper()
+	e, err := engine.New(w, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]int, w.Len())
+	for i := range queries {
+		queries[i] = i
+	}
+	eps := w.EpsEucl(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ProbRangeBatch(queries, eps, tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := e.Stats()
+	b.ReportMetric(float64(stats.Completed)/float64(stats.Candidates), "full-refine/op")
+}
+
+func BenchmarkProbRangePROUDNaive(b *testing.B) {
+	w := probBenchWorkload(b, 120, 128)
+	benchProbRange(b, w, engine.Options{Measure: engine.MeasurePROUD, NoPrune: true}, 0.05)
+}
+
+func BenchmarkProbRangePROUDPruned(b *testing.B) {
+	w := probBenchWorkload(b, 120, 128)
+	benchProbRange(b, w, engine.Options{Measure: engine.MeasurePROUD}, 0.05)
+}
+
+func BenchmarkProbRangeMUNICHNaive(b *testing.B) {
+	w := probBenchWorkload(b, 30, 32)
+	benchProbRange(b, w, engine.Options{Measure: engine.MeasureMUNICH, MUNICH: munich.Options{Bins: 512}, NoPrune: true}, 0.5)
+}
+
+func BenchmarkProbRangeMUNICHPruned(b *testing.B) {
+	w := probBenchWorkload(b, 30, 32)
+	benchProbRange(b, w, engine.Options{Measure: engine.MeasureMUNICH, MUNICH: munich.Options{Bins: 512}}, 0.5)
+}
+
+// BenchmarkProbTopK ranks every candidate by match probability through the
+// shared-bound pruned path.
+func BenchmarkProbTopK(b *testing.B) {
+	b.Run("proud", func(b *testing.B) {
+		w := probBenchWorkload(b, 120, 128)
+		e, err := engine.New(w, engine.Options{Measure: engine.MeasurePROUD})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := make([]int, w.Len())
+		for i := range queries {
+			queries[i] = i
+		}
+		eps := w.EpsEucl(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ProbTopKBatch(queries, eps, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("munich", func(b *testing.B) {
+		w := probBenchWorkload(b, 30, 32)
+		e, err := engine.New(w, engine.Options{Measure: engine.MeasureMUNICH, MUNICH: munich.Options{Bins: 512}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := make([]int, w.Len())
+		for i := range queries {
+			queries[i] = i
+		}
+		eps := w.EpsEucl(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ProbTopKBatch(queries, eps, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -13,6 +13,14 @@
 // much of the scan the pruning skipped:
 //
 //	uncertquery -mode topk -technique dtw -topk 5 -query 3
+//
+// The probrange mode answers the probabilistic range query PRQ(q, C, eps,
+// tau) of the MUNICH and PROUD techniques through the pruned engine —
+// envelope, bounding-interval and sample-pair bounds for MUNICH, sound
+// prefix bounds for PROUD — with eps defaulting to the calibrated
+// ground-truth threshold:
+//
+//	uncertquery -mode probrange -technique proud -tau 0.05 -query 3
 package main
 
 import (
@@ -28,84 +36,181 @@ import (
 	"uncertts/internal/uncertain"
 )
 
+// config carries every flag; validate checks it before any work runs.
+type config struct {
+	dataset   string
+	csvPath   string
+	series    int
+	length    int
+	seed      int64
+	technique string
+	sigma     float64
+	queryIdx  int
+	k         int
+	tau       float64
+	eps       float64
+	mode      string
+	topk      int
+	band      int
+	workers   int
+}
+
+var (
+	validModes = map[string]bool{"match": true, "topk": true, "probrange": true}
+	// validTechniques maps each technique to the modes that serve it.
+	validTechniques = map[string]map[string]bool{
+		"euclidean": {"match": true, "topk": true},
+		"uma":       {"match": true, "topk": true},
+		"uema":      {"match": true, "topk": true},
+		"dtw":       {"match": true, "topk": true},
+		"dust":      {"match": true, "topk": true},
+		"proud":     {"match": true, "probrange": true},
+		"munich":    {"match": true, "probrange": true},
+	}
+)
+
+// validate rejects bad flag combinations up front with a clear error
+// instead of falling through to defaults or failing deep inside a run.
+func validate(cfg config) error {
+	mode := strings.ToLower(cfg.mode)
+	if !validModes[mode] {
+		return fmt.Errorf("unknown mode %q (want match, topk or probrange)", cfg.mode)
+	}
+	technique := strings.ToLower(cfg.technique)
+	modes, ok := validTechniques[technique]
+	if !ok {
+		return fmt.Errorf("unknown technique %q (want euclidean, proud, dust, munich, uma, uema or dtw)", cfg.technique)
+	}
+	if mode == "probrange" && !modes["probrange"] {
+		return fmt.Errorf("technique %q has no probabilistic measure (use proud or munich)", cfg.technique)
+	}
+	if mode == "topk" && !modes["topk"] {
+		return fmt.Errorf("technique %q has no top-k measure (use euclidean, uma, uema, dtw or dust)", cfg.technique)
+	}
+	if cfg.k < 1 {
+		return fmt.Errorf("-k = %d must be at least 1", cfg.k)
+	}
+	if cfg.topk < 1 {
+		return fmt.Errorf("-topk = %d must be at least 1", cfg.topk)
+	}
+	if cfg.csvPath == "" {
+		if cfg.series < 2 {
+			return fmt.Errorf("-series = %d must be at least 2", cfg.series)
+		}
+		if cfg.length < 1 {
+			return fmt.Errorf("-length = %d must be at least 1", cfg.length)
+		}
+		if cfg.k >= cfg.series {
+			return fmt.Errorf("-k = %d needs more than %d series", cfg.k, cfg.series)
+		}
+	}
+	if cfg.queryIdx < 0 {
+		return fmt.Errorf("-query = %d must be non-negative", cfg.queryIdx)
+	}
+	if cfg.sigma < 0 {
+		return fmt.Errorf("-sigma = %v must be non-negative", cfg.sigma)
+	}
+	if cfg.eps < 0 {
+		return fmt.Errorf("-eps = %v must be non-negative", cfg.eps)
+	}
+	// tau = 0 means "calibrate"; anything else must be a usable threshold
+	// (proud accepts (0, 1), munich (0, 1]).
+	if cfg.tau != 0 {
+		ok := cfg.tau > 0 && (cfg.tau < 1 || (technique == "munich" && cfg.tau == 1))
+		if !ok {
+			return fmt.Errorf("-tau = %v outside the valid range (0 = calibrate; proud needs (0, 1), munich (0, 1])", cfg.tau)
+		}
+	}
+	return nil
+}
+
 func main() {
-	var (
-		name      = flag.String("dataset", "CBF", "synthetic dataset to generate (ignored with -csv)")
-		csvPath   = flag.String("csv", "", "load the dataset from this CSV file instead of generating")
-		series    = flag.Int("series", 40, "number of series when generating")
-		length    = flag.Int("length", 96, "series length when generating")
-		seed      = flag.Int64("seed", 1, "seed for generation and perturbation")
-		technique = flag.String("technique", "uema", "euclidean, proud, dust, munich, uma, uema or dtw")
-		sigma     = flag.Float64("sigma", 0.6, "error standard deviation (normal error)")
-		queryIdx  = flag.Int("query", 0, "query series index")
-		k         = flag.Int("k", 10, "ground-truth neighbourhood size")
-		tau       = flag.Float64("tau", 0, "probability threshold for proud/munich (0 = calibrate)")
-		mode      = flag.String("mode", "match", "match (range query vs ground truth) or topk (pruned k-NN)")
-		topk      = flag.Int("topk", 5, "neighbours to return in topk mode")
-		band      = flag.Int("band", 0, "Sakoe-Chiba half-width for dtw topk (0 = length/10)")
-		workers   = flag.Int("workers", 0, "parallel workers in topk mode (0 = GOMAXPROCS)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset to generate (ignored with -csv)")
+	flag.StringVar(&cfg.csvPath, "csv", "", "load the dataset from this CSV file instead of generating")
+	flag.IntVar(&cfg.series, "series", 40, "number of series when generating")
+	flag.IntVar(&cfg.length, "length", 96, "series length when generating")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generation and perturbation")
+	flag.StringVar(&cfg.technique, "technique", "uema", "euclidean, proud, dust, munich, uma, uema or dtw")
+	flag.Float64Var(&cfg.sigma, "sigma", 0.6, "error standard deviation (normal error)")
+	flag.IntVar(&cfg.queryIdx, "query", 0, "query series index")
+	flag.IntVar(&cfg.k, "k", 10, "ground-truth neighbourhood size")
+	flag.Float64Var(&cfg.tau, "tau", 0, "probability threshold for proud/munich (0 = calibrate)")
+	flag.Float64Var(&cfg.eps, "eps", 0, "distance threshold in probrange mode (0 = the calibrated ground-truth eps)")
+	flag.StringVar(&cfg.mode, "mode", "match", "match (range query vs ground truth), topk (pruned k-NN) or probrange (pruned probabilistic range query)")
+	flag.IntVar(&cfg.topk, "topk", 5, "neighbours to return in topk mode")
+	flag.IntVar(&cfg.band, "band", 0, "Sakoe-Chiba half-width for dtw topk (0 = length/10)")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers in topk/probrange mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	ds, err := loadDataset(*csvPath, *name, *series, *length, *seed)
+	if err := validate(cfg); err != nil {
+		fatal(err)
+	}
+	cfg.mode = strings.ToLower(cfg.mode)
+	cfg.technique = strings.ToLower(cfg.technique)
+
+	ds, err := loadDataset(cfg.csvPath, cfg.dataset, cfg.series, cfg.length, cfg.seed)
 	if err != nil {
 		fatal(err)
 	}
 	n := ds.Series[0].Len()
-	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, *sigma, n, *seed)
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, cfg.sigma, n, cfg.seed)
 	if err != nil {
 		fatal(err)
 	}
 	samplesPerTS := 0
-	if *technique == "munich" {
+	if cfg.technique == "munich" {
 		samplesPerTS = 5
 	}
-	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: *k, SamplesPerTS: samplesPerTS})
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: cfg.k, SamplesPerTS: samplesPerTS})
 	if err != nil {
 		fatal(err)
 	}
-	if *queryIdx < 0 || *queryIdx >= w.Len() {
-		fatal(fmt.Errorf("query index %d outside [0, %d)", *queryIdx, w.Len()))
+	if cfg.queryIdx >= w.Len() {
+		fatal(fmt.Errorf("query index %d outside [0, %d)", cfg.queryIdx, w.Len()))
 	}
 
-	if *mode == "topk" {
-		runTopK(w, ds.Name, *technique, *queryIdx, *topk, *band, *workers, *sigma)
-		return
+	switch cfg.mode {
+	case "topk":
+		runTopK(w, ds.Name, cfg)
+	case "probrange":
+		runProbRange(w, ds.Name, cfg)
+	default:
+		runMatch(w, ds.Name, cfg)
 	}
-	if *mode != "match" {
-		fatal(fmt.Errorf("unknown mode %q (want match or topk)", *mode))
-	}
+}
 
-	m, err := buildMatcher(w, *technique, *tau)
+func runMatch(w *core.Workload, dsName string, cfg config) {
+	m, err := buildMatcher(w, cfg.technique, cfg.tau)
 	if err != nil {
 		fatal(err)
 	}
 	if err := m.Prepare(w); err != nil {
 		fatal(err)
 	}
-	got, err := m.Match(*queryIdx)
+	got, err := m.Match(cfg.queryIdx)
 	if err != nil {
 		fatal(err)
 	}
-	metrics, err := core.EvaluateQuery(w, m, *queryIdx)
+	metrics, err := core.EvaluateQuery(w, m, cfg.queryIdx)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("dataset    : %s (%d series x %d points)\n", ds.Name, w.Len(), n)
+	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())
 	fmt.Printf("technique  : %s\n", m.Name())
-	fmt.Printf("perturbation: normal error, sigma=%.2f\n", *sigma)
-	fmt.Printf("query      : series %d (label %d)\n", *queryIdx, w.Exact[*queryIdx].Label)
+	fmt.Printf("perturbation: normal error, sigma=%.2f\n", cfg.sigma)
+	fmt.Printf("query      : series %d (label %d)\n", cfg.queryIdx, w.Exact[cfg.queryIdx].Label)
 	fmt.Printf("matches    : %v\n", got)
-	fmt.Printf("ground truth: %v\n", w.Truth(*queryIdx))
+	fmt.Printf("ground truth: %v\n", w.Truth(cfg.queryIdx))
 	fmt.Printf("precision=%.3f recall=%.3f F1=%.3f\n", metrics.Precision, metrics.Recall, metrics.F1)
 }
 
 // runTopK answers the k-NN query through the pruned engine and reports the
 // scan statistics next to a naive full-scan baseline.
-func runTopK(w *core.Workload, dsName, technique string, queryIdx, k, band, workers int, sigma float64) {
+func runTopK(w *core.Workload, dsName string, cfg config) {
 	var measure engine.Measure
-	switch strings.ToLower(technique) {
+	switch cfg.technique {
 	case "euclidean":
 		measure = engine.MeasureEuclidean
 	case "uma":
@@ -116,29 +221,67 @@ func runTopK(w *core.Workload, dsName, technique string, queryIdx, k, band, work
 		measure = engine.MeasureDTW
 	case "dust":
 		measure = engine.MeasureDUST
-	default:
-		fatal(fmt.Errorf("technique %q has no top-k measure (use euclidean, uma, uema, dtw or dust)", technique))
 	}
-	e, err := engine.New(w, engine.Options{Measure: measure, Band: band, Workers: workers})
+	e, err := engine.New(w, engine.Options{Measure: measure, Band: cfg.band, Workers: cfg.workers})
 	if err != nil {
 		fatal(err)
 	}
-	nn, err := e.TopK(queryIdx, k)
+	nn, err := e.TopK(cfg.queryIdx, cfg.topk)
 	if err != nil {
 		fatal(err)
 	}
 	stats := e.Stats()
 
 	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())
-	fmt.Printf("measure    : %s (pruned top-%d)\n", measure, k)
-	fmt.Printf("perturbation: normal error, sigma=%.2f\n", sigma)
-	fmt.Printf("query      : series %d (label %d)\n", queryIdx, w.Exact[queryIdx].Label)
+	fmt.Printf("measure    : %s (pruned top-%d)\n", measure, cfg.topk)
+	fmt.Printf("perturbation: normal error, sigma=%.2f\n", cfg.sigma)
+	fmt.Printf("query      : series %d (label %d)\n", cfg.queryIdx, w.Exact[cfg.queryIdx].Label)
 	for rank, n := range nn {
 		fmt.Printf("  #%-2d series %-4d label %-3d distance %.4f\n",
 			rank+1, n.ID, w.Exact[n.ID].Label, n.Distance)
 	}
 	fmt.Printf("scan       : %d candidates, %d full computations, %d abandoned early, %d pruned by envelope (%.1f%% of the scan skipped)\n",
 		stats.Candidates, stats.Completed, stats.AbandonedEarly, stats.PrunedByEnvelope,
+		100*float64(stats.Candidates-stats.Completed)/float64(stats.Candidates))
+}
+
+// runProbRange answers the probabilistic range query through the pruned
+// engine and reports which bound resolved how much of the scan.
+func runProbRange(w *core.Workload, dsName string, cfg config) {
+	measure := engine.MeasurePROUD
+	if cfg.technique == "munich" {
+		measure = engine.MeasureMUNICH
+	}
+	tau := cfg.tau
+	if tau == 0 {
+		best, err := calibrateTau(w, cfg.technique)
+		if err != nil {
+			fatal(err)
+		}
+		tau = best
+	}
+	eps := cfg.eps
+	if eps == 0 {
+		eps = w.EpsEucl(cfg.queryIdx)
+	}
+	e, err := engine.New(w, engine.Options{Measure: measure, Workers: cfg.workers})
+	if err != nil {
+		fatal(err)
+	}
+	got, err := e.ProbRange(cfg.queryIdx, eps, tau)
+	if err != nil {
+		fatal(err)
+	}
+	stats := e.Stats()
+
+	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())
+	fmt.Printf("measure    : %s (pruned probabilistic range, eps=%.4f, tau=%g)\n", measure, eps, tau)
+	fmt.Printf("perturbation: normal error, sigma=%.2f\n", cfg.sigma)
+	fmt.Printf("query      : series %d (label %d)\n", cfg.queryIdx, w.Exact[cfg.queryIdx].Label)
+	fmt.Printf("matches    : %v\n", got)
+	fmt.Printf("ground truth: %v\n", w.Truth(cfg.queryIdx))
+	fmt.Printf("scan       : %d candidates, %d full refines, %d envelope-pruned, %d resolved by bounds, %d resolved on a prefix, %d refines abandoned early (%.1f%% of the refine work skipped)\n",
+		stats.Candidates, stats.Completed, stats.PrunedByEnvelope, stats.ResolvedByBounds, stats.ResolvedEarly, stats.AbandonedEarly,
 		100*float64(stats.Candidates-stats.Completed)/float64(stats.Candidates))
 }
 
@@ -154,19 +297,38 @@ func loadDataset(csvPath, name string, series, length int, seed int64) (timeseri
 	return timeseries.ReadCSV(f, csvPath)
 }
 
+// calibrateTau reproduces the paper's "optimal tau" procedure for the
+// probabilistic techniques over a fixed query sample, reporting the result
+// on stderr. Both the match and probrange paths share it.
+func calibrateTau(w *core.Workload, technique string) (float64, error) {
+	factory := func(tau float64) core.Matcher { return core.NewPROUDMatcher(tau) }
+	if technique == "munich" {
+		// One probability cache across the sweep: the pair probabilities do
+		// not depend on tau, so the expensive counting runs once per pair
+		// instead of once per grid point.
+		cache := core.NewMunichProbCache()
+		factory = func(tau float64) core.Matcher { return &core.MUNICHMatcher{Tau: tau, Cache: cache} }
+	}
+	best, _, err := core.CalibrateTau(w, factory, []int{0, 1, 2}, nil)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "calibrated tau = %g\n", best)
+	return best, nil
+}
+
 func buildMatcher(w *core.Workload, technique string, tau float64) (core.Matcher, error) {
 	calibrated := func(factory func(tau float64) core.Matcher) (core.Matcher, error) {
 		if tau > 0 {
 			return factory(tau), nil
 		}
-		best, _, err := core.CalibrateTau(w, factory, []int{0, 1, 2}, nil)
+		best, err := calibrateTau(w, technique)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "calibrated tau = %g\n", best)
 		return factory(best), nil
 	}
-	switch strings.ToLower(technique) {
+	switch technique {
 	case "euclidean":
 		return core.NewEuclideanMatcher(), nil
 	case "dust":
@@ -175,6 +337,8 @@ func buildMatcher(w *core.Workload, technique string, tau float64) (core.Matcher
 		return core.NewUMAMatcher(2), nil
 	case "uema":
 		return core.NewUEMAMatcher(2, 1), nil
+	case "dtw":
+		return core.NewDTWMatcher(), nil
 	case "proud":
 		return calibrated(func(tau float64) core.Matcher { return core.NewPROUDMatcher(tau) })
 	case "munich":

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodConfig is a baseline that must validate; each case mutates one flag.
+func goodConfig() config {
+	return config{
+		dataset:   "CBF",
+		series:    40,
+		length:    96,
+		seed:      1,
+		technique: "uema",
+		sigma:     0.6,
+		queryIdx:  0,
+		k:         10,
+		mode:      "match",
+		topk:      5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*config)
+		wantErr string // substring of the expected error; empty = valid
+	}{
+		{"baseline", func(c *config) {}, ""},
+		{"topk mode", func(c *config) { c.mode = "topk"; c.technique = "dtw" }, ""},
+		{"probrange proud", func(c *config) { c.mode = "probrange"; c.technique = "proud"; c.tau = 0.05 }, ""},
+		{"probrange munich tau 1", func(c *config) { c.mode = "probrange"; c.technique = "munich"; c.tau = 1 }, ""},
+		{"probrange calibrated tau", func(c *config) { c.mode = "probrange"; c.technique = "munich" }, ""},
+		{"match dtw", func(c *config) { c.technique = "dtw" }, ""},
+		{"mixed case", func(c *config) { c.mode = "TopK"; c.technique = "DTW" }, ""},
+		{"csv skips generation checks", func(c *config) { c.csvPath = "data.csv"; c.series = 0; c.length = 0 }, ""},
+
+		{"unknown mode", func(c *config) { c.mode = "fuzzy" }, "unknown mode"},
+		{"unknown technique", func(c *config) { c.technique = "cosine" }, "unknown technique"},
+		{"topk with proud", func(c *config) { c.mode = "topk"; c.technique = "proud" }, "no top-k measure"},
+		{"topk with munich", func(c *config) { c.mode = "topk"; c.technique = "munich" }, "no top-k measure"},
+		{"probrange with dtw", func(c *config) { c.mode = "probrange"; c.technique = "dtw" }, "no probabilistic measure"},
+		{"k zero", func(c *config) { c.k = 0 }, "-k = 0"},
+		{"k negative", func(c *config) { c.k = -3 }, "-k = -3"},
+		{"k not below series", func(c *config) { c.k = 40 }, "needs more than"},
+		{"topk zero", func(c *config) { c.mode = "topk"; c.technique = "dtw"; c.topk = 0 }, "-topk = 0"},
+		{"one series", func(c *config) { c.series = 1 }, "-series"},
+		{"zero length", func(c *config) { c.length = 0 }, "-length"},
+		{"negative query", func(c *config) { c.queryIdx = -1 }, "-query"},
+		{"negative sigma", func(c *config) { c.sigma = -0.5 }, "-sigma"},
+		{"negative eps", func(c *config) { c.eps = -2 }, "-eps"},
+		{"negative tau", func(c *config) { c.tau = -0.1 }, "-tau"},
+		{"tau one for proud", func(c *config) { c.mode = "probrange"; c.technique = "proud"; c.tau = 1 }, "-tau"},
+		{"tau above one", func(c *config) { c.mode = "probrange"; c.technique = "munich"; c.tau = 1.5 }, "-tau"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goodConfig()
+			tc.mutate(&cfg)
+			err := validate(cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", cfg, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error containing %q", cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

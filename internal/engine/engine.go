@@ -2,7 +2,7 @@
 // range similarity engine that sits above the matchers of internal/core and
 // prunes aggressively before any work reaches the hot distance kernels.
 //
-// Three pruning devices, one per family of measures:
+// Pruning devices, one family per measure:
 //
 //   - lock-step measures (Euclidean, UMA, UEMA over the filtered series)
 //     early-abandon the squared-distance accumulation once the running sum
@@ -12,7 +12,16 @@
 //     exclude the candidate;
 //   - DUST early-abandons the Equation 13 accumulation and shares a single
 //     evaluator, and therefore a single set of phi lookup tables, across
-//     every query of a batch.
+//     every query of a batch;
+//   - MUNICH (probabilistic queries) walks a segment-envelope lower bound,
+//     the exact bounding-interval prune and (when the refine is exact) a
+//     per-timestamp sample-pair probability bound; surviving candidates
+//     pay for a refine step that abandons early in the estimator's own
+//     arithmetic;
+//   - PROUD (probabilistic queries) accumulates the distance moments over a
+//     prefix of timestamps and stops as soon as the sound prefix bounds
+//     (Stream.earlyDecision's machinery plus suffix-energy gap bounds)
+//     force the predicate outcome.
 //
 // Execution is batched and sharded: the candidate space of every query is
 // cut into shards and the (query, shard) pairs are drained by the chunked
@@ -36,6 +45,8 @@ import (
 	"uncertts/internal/core"
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
 	"uncertts/internal/query"
 	"uncertts/internal/timeseries"
 )
@@ -59,6 +70,15 @@ const (
 	// MeasureDUST scans with the DUST dissimilarity (Equation 13), sharing
 	// one set of phi tables across the batch.
 	MeasureDUST
+	// MeasurePROUD serves probabilistic threshold queries (ProbRange,
+	// ProbTopK) with PROUD's normal approximation of the squared distance
+	// over the perturbed observations, pruned by sound prefix bounds.
+	MeasurePROUD
+	// MeasureMUNICH serves probabilistic threshold queries over the
+	// repeated-observation model (the workload must be built with
+	// SamplesPerTS > 0), pruned by envelope and bounding-interval bounds
+	// before any combination counting.
+	MeasureMUNICH
 )
 
 // String names the measure.
@@ -74,6 +94,10 @@ func (m Measure) String() string {
 		return "DTW"
 	case MeasureDUST:
 		return "DUST"
+	case MeasurePROUD:
+		return "PROUD"
+	case MeasureMUNICH:
+		return "MUNICH"
 	default:
 		return fmt.Sprintf("Measure(%d)", int(m))
 	}
@@ -102,22 +126,39 @@ type Options struct {
 	NoPrune bool
 	// DUST configures the shared evaluator for MeasureDUST.
 	DUST dust.Options
+	// Segments is the envelope segment count of the MUNICH filter index
+	// (0 = 16, clamped to the series length).
+	Segments int
+	// MUNICH configures the probability estimator MeasureMUNICH refines
+	// with; it must match the options of any naive scan being compared
+	// against.
+	MUNICH munich.Options
 }
 
 // Stats counts the engine's work since construction (or the last
 // ResetStats). The accounting identity Candidates = Completed +
-// AbandonedEarly + PrunedByEnvelope always holds.
+// AbandonedEarly + PrunedByEnvelope + ResolvedByBounds + ResolvedEarly
+// always holds; Candidates - Completed is the work pruning saved.
 type Stats struct {
 	// Candidates is the number of query-candidate pairs examined.
 	Candidates int64
-	// Completed is the number of full distance computations that ran to
+	// Completed is the number of full distance computations (or, for the
+	// probabilistic measures, full probability refines) that ran to
 	// completion — the figure pruning exists to minimise.
 	Completed int64
 	// AbandonedEarly counts scans abandoned mid-accumulation.
 	AbandonedEarly int64
-	// PrunedByEnvelope counts candidates excluded by LB_Keogh alone,
-	// without touching the DTW kernel.
+	// PrunedByEnvelope counts candidates excluded by an envelope lower
+	// bound alone: LB_Keogh for DTW, the segment-envelope filter for
+	// MUNICH. Neither touches the underlying kernel.
 	PrunedByEnvelope int64
+	// ResolvedByBounds counts MUNICH candidates whose probabilistic
+	// predicate was decided by the bounding-interval or sample-pair bounds
+	// without the full combination-counting refine.
+	ResolvedByBounds int64
+	// ResolvedEarly counts PROUD candidates whose predicate was decided by
+	// the sound prefix bounds after only a prefix of timestamps.
+	ResolvedEarly int64
 }
 
 // Engine answers pruned top-k and range similarity queries over a prepared
@@ -127,14 +168,19 @@ type Engine struct {
 	opts Options
 	band int
 
-	vecs         [][]float64 // scanned vectors (observations or filtered)
-	upper, lower [][]float64 // per-series LB_Keogh envelopes (DTW only)
-	dust         *dust.Dust  // shared evaluator (DUST only)
+	vecs         [][]float64   // scanned vectors (observations or filtered)
+	upper, lower [][]float64   // per-series LB_Keogh envelopes (DTW only)
+	dust         *dust.Dust    // shared evaluator (DUST only)
+	varD         float64       // per-timestamp D_i variance sum (PROUD only)
+	suffix       [][]float64   // per-series suffix energies (PROUD only)
+	mIndex       *munich.Index // segment-envelope filter index (MUNICH only)
 
-	candidates atomic.Int64
-	completed  atomic.Int64
-	abandoned  atomic.Int64
-	pruned     atomic.Int64
+	candidates     atomic.Int64
+	completed      atomic.Int64
+	abandoned      atomic.Int64
+	pruned         atomic.Int64
+	resolvedBounds atomic.Int64
+	resolvedEarly  atomic.Int64
 }
 
 // New builds an engine over the workload, precomputing the per-measure
@@ -190,6 +236,29 @@ func New(w *core.Workload, opts Options) (*Engine, error) {
 		}
 	case MeasureDUST:
 		e.dust = dust.New(opts.DUST)
+	case MeasurePROUD:
+		e.vecs = observations(w)
+		// The same arithmetic the naive matcher feeds proud.Distance with
+		// (QuerySigma and CandSigma both the workload's reported sigma).
+		sigma := w.ReportedSigma
+		e.varD = sigma*sigma + sigma*sigma
+		e.suffix = make([][]float64, w.Len())
+		for i, v := range e.vecs {
+			e.suffix[i] = proud.SuffixEnergy(v)
+		}
+	case MeasureMUNICH:
+		if w.Samples == nil {
+			return nil, errors.New("engine: MeasureMUNICH requires a workload with SamplesPerTS > 0")
+		}
+		segments := opts.Segments
+		if segments <= 0 {
+			segments = 16
+		}
+		idx, err := munich.NewIndex(w.Samples, segments)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building MUNICH filter index: %w", err)
+		}
+		e.mIndex = idx
 	default:
 		return nil, fmt.Errorf("engine: unknown measure %v", opts.Measure)
 	}
@@ -214,6 +283,8 @@ func (e *Engine) Stats() Stats {
 		Completed:        e.completed.Load(),
 		AbandonedEarly:   e.abandoned.Load(),
 		PrunedByEnvelope: e.pruned.Load(),
+		ResolvedByBounds: e.resolvedBounds.Load(),
+		ResolvedEarly:    e.resolvedEarly.Load(),
 	}
 }
 
@@ -223,6 +294,8 @@ func (e *Engine) ResetStats() {
 	e.completed.Store(0)
 	e.abandoned.Store(0)
 	e.pruned.Store(0)
+	e.resolvedBounds.Store(0)
+	e.resolvedEarly.Store(0)
 }
 
 // distPruned evaluates the measure's distance between query qi and
@@ -278,6 +351,8 @@ func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) 
 		}
 		e.completed.Add(1)
 		return d, true, nil
+	case MeasurePROUD, MeasureMUNICH:
+		return 0, false, fmt.Errorf("engine: measure %v defines match probabilities, not distances (use ProbRange/ProbTopK)", e.opts.Measure)
 	default:
 		return 0, false, fmt.Errorf("engine: unknown measure %v", e.opts.Measure)
 	}
@@ -385,8 +460,16 @@ func (h *kHeap) push(d float64) {
 // round-trip (distances are stored as sqrt, bounds as squares) can never
 // exclude a candidate that ties the k-th best exactly. The relative 1e-15
 // margin is ~4 ulps — far above the round-trip error, far below any real
-// distance gap — and costs no measurable pruning.
-func ulpUp(v float64) float64 { return v + v*1e-15 }
+// distance gap — and costs no measurable pruning. A relative margin
+// vanishes at v = 0 (exact-duplicate series), where ties would survive only
+// because every kernel happens to compare with strict >; the absolute floor
+// keeps a zero cutoff strictly above every distance that ties it.
+func ulpUp(v float64) float64 {
+	if v := v + v*1e-15; v > 0 {
+		return v
+	}
+	return math.SmallestNonzeroFloat64
+}
 
 // TopK returns the k nearest neighbours of query qi under the engine's
 // measure, excluding qi itself, sorted by ascending distance with ties

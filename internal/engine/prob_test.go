@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"uncertts/internal/core"
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
+	"uncertts/internal/query"
+	"uncertts/internal/stats"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+// probWorkload builds a workload with the repeated-observation model so
+// both probabilistic measures can run. The MUNICH refine step is the most
+// expensive path in the test suite, so the workload stays small and the
+// convolution estimator runs at reduced resolution (testMunichOpts) on
+// both the engine and the naive reference.
+func probWorkload(t testing.TB, series, length int) *core.Workload {
+	t.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: series, Length: length, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.2, length, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5, SamplesPerTS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testMunichOpts() munich.Options { return munich.Options{Bins: 512} }
+
+// naiveProbs is the reference scan for ProbTopK: every pair probability
+// computed exactly the way the naive matchers do, sorted by descending
+// probability with ties broken by index.
+func naiveProbs(t *testing.T, w *core.Workload, measure Measure, qi int, eps float64) []ProbMatch {
+	t.Helper()
+	var out []ProbMatch
+	for ci := 0; ci < w.Len(); ci++ {
+		if ci == qi {
+			continue
+		}
+		var p float64
+		switch measure {
+		case MeasurePROUD:
+			d, err := proud.Distance(w.PDF[qi].Observations, w.PDF[ci].Observations, w.ReportedSigma, w.ReportedSigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = d.ProbWithin(eps)
+		case MeasureMUNICH:
+			dec, err := munich.Prune(w.Samples[qi], w.Samples[ci], eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch dec {
+			case munich.PruneAccept:
+				p = 1
+			case munich.PruneReject:
+				p = 0
+			default:
+				p, err = munich.Probability(w.Samples[qi], w.Samples[ci], eps, testMunichOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		out = append(out, ProbMatch{ID: ci, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func probEngine(t *testing.T, w *core.Workload, measure Measure, workers int) *Engine {
+	t.Helper()
+	e, err := New(w, Options{Measure: measure, Workers: workers, ShardSize: 7, MUNICH: testMunichOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestProbRangeMatchesNaiveMatcherEveryWorkerCount(t *testing.T) {
+	w := probWorkload(t, 24, 32)
+	queries := []int{0, 7, 23}
+	for _, tc := range []struct {
+		measure Measure
+		taus    []float64
+	}{
+		{MeasurePROUD, []float64{0.05, 0.5, 0.9}},
+		{MeasureMUNICH, []float64{0.3, 0.5, 1}},
+	} {
+		for _, tau := range tc.taus {
+			var naive core.Matcher
+			if tc.measure == MeasurePROUD {
+				naive = core.NewPROUDMatcher(tau)
+			} else {
+				naive = &core.MUNICHMatcher{Tau: tau, Opts: testMunichOpts()}
+			}
+			if err := naive.Prepare(w); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				e := probEngine(t, w, tc.measure, workers)
+				for _, qi := range queries {
+					want, err := naive.Match(qi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.ProbRange(qi, w.EpsEucl(qi), tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: ProbRange(q=%d, tau=%g, workers=%d) = %v, want %v",
+							tc.measure, qi, tau, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProbTopKMatchesNaiveRankingEveryWorkerCount(t *testing.T) {
+	w := probWorkload(t, 24, 32)
+	for _, measure := range []Measure{MeasurePROUD, MeasureMUNICH} {
+		for _, qi := range []int{0, 13} {
+			eps := w.EpsEucl(qi)
+			ref := naiveProbs(t, w, measure, qi, eps)
+			for _, k := range []int{1, 5, 50} {
+				want := ref
+				if k < len(want) {
+					want = want[:k]
+				}
+				for _, workers := range []int{1, 2, 8} {
+					e := probEngine(t, w, measure, workers)
+					got, err := e.ProbTopK(qi, eps, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: ProbTopK(q=%d, k=%d, workers=%d) = %v, want %v",
+							measure, qi, k, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbRangeMatchesNaiveAcrossEstimators pins bit-identity for the
+// estimator configurations whose refine step is approximate (Monte Carlo,
+// forced convolution) and for the exact-feasible regime where the
+// sample-pair upper bound is live.
+func TestProbRangeMatchesNaiveAcrossEstimators(t *testing.T) {
+	cases := []struct {
+		name    string
+		series  int
+		length  int
+		samples int
+		opts    munich.Options
+	}{
+		{"montecarlo", 18, 24, 3, munich.Options{Estimator: munich.EstimatorMonteCarlo, MonteCarloSamples: 300}},
+		{"convolution", 18, 24, 3, munich.Options{Estimator: munich.EstimatorConvolution, Bins: 256}},
+		// 2 samples x 12 timestamps: 4^6 combinations per half, exactly
+		// countable, so Auto refines exactly and the sample-pair bound runs.
+		{"exact-auto", 18, 12, 2, munich.Options{}},
+		{"exact-forced", 18, 12, 2, munich.Options{Estimator: munich.EstimatorExact}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: tc.series, Length: tc.length, Seed: 33})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.25, tc.length, 33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 4, SamplesPerTS: tc.samples})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range []float64{0.1, 0.5, 0.9} {
+				naive := &core.MUNICHMatcher{Tau: tau, Opts: tc.opts}
+				if err := naive.Prepare(w); err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 8} {
+					e, err := New(w, Options{Measure: MeasureMUNICH, Workers: workers, ShardSize: 5, MUNICH: tc.opts})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, qi := range []int{0, 9, 17} {
+						want, err := naive.Match(qi)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := e.ProbRange(qi, w.EpsEucl(qi), tau)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("tau=%g workers=%d q=%d: engine %v, naive %v", tau, workers, qi, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestProbRangeBatchMatchesSingleQueries(t *testing.T) {
+	w := probWorkload(t, 24, 32)
+	queries := []int{0, 5, 11, 23}
+	eps := w.EpsEucl(0)
+	for _, measure := range []Measure{MeasurePROUD, MeasureMUNICH} {
+		e := probEngine(t, w, measure, 4)
+		batch, err := e.ProbRangeBatch(queries, eps, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, qi := range queries {
+			single, err := e.ProbRange(qi, eps, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch[i], single) {
+				t.Errorf("%s: batch answer for query %d differs from single-query answer", measure, qi)
+			}
+		}
+	}
+}
+
+// TestProbPruningResolvesMostCandidates is the acceptance bar of the
+// probabilistic engine: identical answers to the unpruned arm, with more
+// than half of the candidates resolved without the full refine step.
+func TestProbPruningResolvesMostCandidates(t *testing.T) {
+	w := probWorkload(t, 30, 48)
+	queries := make([]int, w.Len())
+	for i := range queries {
+		queries[i] = i
+	}
+	eps := w.EpsEucl(0)
+	for _, tc := range []struct {
+		measure Measure
+		tau     float64
+	}{
+		{MeasurePROUD, 0.05},
+		{MeasureMUNICH, 0.5},
+	} {
+		pruned := probEngine(t, w, tc.measure, 0)
+		naive, err := New(w, Options{Measure: tc.measure, ShardSize: 7, MUNICH: testMunichOpts(), NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := naive.ProbRangeBatch(queries, eps, tc.tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, err := pruned.ProbRangeBatch(queries, eps, tc.tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("%s: pruned batch differs from the unpruned arm", tc.measure)
+		}
+		ps, ns := pruned.Stats(), naive.Stats()
+		if ps.Candidates != ns.Candidates {
+			t.Errorf("%s: candidate counts differ: %d vs %d", tc.measure, ps.Candidates, ns.Candidates)
+		}
+		if got := ps.Completed + ps.AbandonedEarly + ps.PrunedByEnvelope + ps.ResolvedByBounds + ps.ResolvedEarly; got != ps.Candidates {
+			t.Errorf("%s: stats identity broken: %+v", tc.measure, ps)
+		}
+		if resolved := ps.Candidates - ps.Completed; 2*resolved <= ps.Candidates {
+			t.Errorf("%s: only %d of %d candidates resolved without the full refine, want > half",
+				tc.measure, resolved, ps.Candidates)
+		}
+	}
+}
+
+func TestProbValidation(t *testing.T) {
+	w := probWorkload(t, 12, 16)
+	// MUNICH needs the sample model.
+	noSamples := probWorkload(t, 12, 16)
+	noSamples.Samples = nil
+	if _, err := New(noSamples, Options{Measure: MeasureMUNICH}); err == nil {
+		t.Error("MeasureMUNICH without samples should error")
+	}
+	// Probabilistic queries are rejected on distance measures and vice versa.
+	de, err := New(w, Options{Measure: MeasureEuclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := de.ProbRange(0, 1, 0.5); err == nil {
+		t.Error("ProbRange on a distance measure should error")
+	}
+	if _, err := de.ProbTopK(0, 1, 3); err == nil {
+		t.Error("ProbTopK on a distance measure should error")
+	}
+	pe, err := New(w, Options{Measure: MeasurePROUD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.TopK(0, 3); err == nil {
+		t.Error("TopK on a probabilistic measure should error")
+	}
+	if _, err := pe.Distance(0, 1); err == nil {
+		t.Error("Distance on a probabilistic measure should error")
+	}
+	if _, err := pe.ProbRange(99, 1, 0.5); err == nil {
+		t.Error("out-of-range query should error")
+	}
+	if _, err := pe.ProbRange(0, -1, 0.5); err == nil {
+		t.Error("negative eps should error")
+	}
+	if _, err := pe.ProbRange(0, math.NaN(), 0.5); err == nil {
+		t.Error("NaN eps should error")
+	}
+	if _, err := pe.ProbRange(0, 1, 0); err == nil {
+		t.Error("PROUD tau=0 should error")
+	}
+	if _, err := pe.ProbRange(0, 1, 1); err == nil {
+		t.Error("PROUD tau=1 should error")
+	}
+	if _, err := pe.ProbTopK(0, 1, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	me, err := New(w, Options{Measure: MeasureMUNICH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := me.ProbRange(0, 1, 0); err == nil {
+		t.Error("MUNICH tau=0 should error")
+	}
+	if _, err := me.ProbRange(0, 1, 1.5); err == nil {
+		t.Error("MUNICH tau>1 should error")
+	}
+	if _, err := me.ProbRange(0, 1, 1); err != nil {
+		t.Errorf("MUNICH tau=1 is valid: %v", err)
+	}
+}
+
+// duplicateWorkload hand-builds a workload where series 0-3 are exact
+// duplicates: the adversarial input for zero-distance tie handling.
+func duplicateWorkload(t *testing.T) *core.Workload {
+	t.Helper()
+	const n = 16
+	base := make([]float64, n)
+	rng := stats.NewRand(5)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	var exact []timeseries.Series
+	var pdf []uncertain.PDFSeries
+	errDist := stats.NewNormal(0, 0.1)
+	for id := 0; id < 10; id++ {
+		vals := make([]float64, n)
+		copy(vals, base)
+		if id >= 4 {
+			// Distinct tail series, still close enough to be candidates.
+			for i := range vals {
+				vals[i] += float64(id) * 0.3 * float64(i%3)
+			}
+		}
+		s := timeseries.New(vals)
+		s.ID = id
+		exact = append(exact, s)
+		errs := make([]stats.Dist, n)
+		for i := range errs {
+			errs[i] = errDist
+		}
+		pdf = append(pdf, uncertain.PDFSeries{Observations: vals, Errors: errs, ID: id})
+	}
+	sigmas := make([]float64, n)
+	for i := range sigmas {
+		sigmas[i] = 0.1
+	}
+	return &core.Workload{Exact: exact, PDF: pdf, Sigmas: sigmas, ReportedSigma: 0.1, K: 3}
+}
+
+// TestZeroDistanceTies is the ulpUp regression test: with exact-duplicate
+// series the k-th best distance — and therefore the pruning cutoff — is
+// exactly zero, and the absolute floor must keep the remaining duplicates
+// from being excluded by their own tie.
+func TestZeroDistanceTies(t *testing.T) {
+	w := duplicateWorkload(t)
+	for _, opts := range []Options{
+		{Measure: MeasureEuclidean, ShardSize: 3},
+		{Measure: MeasureDTW, Band: 3, ShardSize: 3},
+	} {
+		e, err := New(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 5} {
+			want := naiveTopK(t, e, 0, k)
+			got, err := e.TopK(0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: TopK(0, %d) over duplicates = %v, want %v", opts.Measure, k, got, want)
+			}
+		}
+		// Range with eps = 0 must return exactly the duplicates.
+		got, err := e.Range(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := query.RangeQueryFunc(w.Len(), 0, func(ci int) (float64, error) {
+			return e.Distance(0, ci)
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Range(0, 0) = %v, want %v", opts.Measure, got, want)
+		}
+		if len(got) != 3 {
+			t.Errorf("%s: Range(0, 0) = %v, want the 3 duplicates", opts.Measure, got)
+		}
+	}
+}
+
+func TestUlpUpFloor(t *testing.T) {
+	if ulpUp(0) <= 0 {
+		t.Error("ulpUp(0) must be strictly positive")
+	}
+	if v := 2.5; ulpUp(v) <= v {
+		t.Error("ulpUp must strictly inflate positive values")
+	}
+}

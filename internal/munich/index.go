@@ -18,6 +18,7 @@ import (
 // candidate that could match is dropped (no false dismissals).
 type Index struct {
 	segments int
+	spans    [][2]int // [start, end) timestamp range of each segment
 	entries  []indexEntry
 	series   []uncertain.SampleSeries
 	length   int
@@ -42,6 +43,7 @@ func NewIndex(collection []uncertain.SampleSeries, segments int) (*Index, error)
 		segments = n
 	}
 	idx := &Index{segments: segments, length: n, series: collection}
+	idx.spans = idx.segmentSpans()
 	for _, s := range collection {
 		if err := s.Validate(); err != nil {
 			return nil, err
@@ -72,8 +74,10 @@ func buildEntry(s uncertain.SampleSeries, segments int) indexEntry {
 	return e
 }
 
-// segmentSpans returns the [start, end) timestamp range of each segment for
-// a series of the index's length.
+// segmentSpans computes the [start, end) timestamp range of each segment
+// for a series of the index's length. It is called once by NewIndex; query
+// paths read the cached x.spans instead of re-deriving (and re-allocating)
+// the spans per candidate.
 func (x *Index) segmentSpans() [][2]int {
 	spans := make([][2]int, x.segments)
 	for seg := 0; seg < x.segments; seg++ {
@@ -90,7 +94,6 @@ func (x *Index) segmentSpans() [][2]int {
 func (x *Index) lowerBound(q indexEntry, i int) float64 {
 	c := x.entries[i]
 	var acc float64
-	spans := x.segmentSpans()
 	for seg := 0; seg < x.segments; seg++ {
 		var gap float64
 		switch {
@@ -101,10 +104,22 @@ func (x *Index) lowerBound(q indexEntry, i int) float64 {
 		default:
 			continue
 		}
-		width := float64(spans[seg][1] - spans[seg][0])
+		width := float64(x.spans[seg][1] - x.spans[seg][0])
 		acc += gap * gap * width
 	}
 	return math.Sqrt(acc)
+}
+
+// Len returns the number of indexed series.
+func (x *Index) Len() int { return len(x.series) }
+
+// LowerBoundBetween returns the envelope-level lower bound on every feasible
+// Euclidean distance between the indexed series at positions qi and ci. It
+// is the filter device exposed for callers (such as the query engine) whose
+// queries are themselves members of the indexed collection, so the query
+// entry is already built and the bound costs O(segments) with no allocation.
+func (x *Index) LowerBoundBetween(qi, ci int) float64 {
+	return x.lowerBound(x.entries[qi], ci)
 }
 
 // FilterStats reports how much work the filter saved.

@@ -158,3 +158,66 @@ func TestIndexSegmentClamping(t *testing.T) {
 		t.Errorf("segments = %d, want 5 (series length)", idx2.segments)
 	}
 }
+
+// BenchmarkIndexFilter measures the envelope filter walk. The segment
+// spans are precomputed in NewIndex, so the per-candidate lower bound must
+// not allocate; allocs/op here is the regression guard (it was one
+// [][2]int per candidate before the spans were hoisted).
+func BenchmarkIndexFilter(b *testing.B) {
+	rng := stats.NewRand(19)
+	coll := make([]uncertain.SampleSeries, 128)
+	for id := range coll {
+		base := float64(id) * 0.2
+		rows := make([][]float64, 64)
+		for i := range rows {
+			row := make([]float64, 5)
+			for j := range row {
+				row[j] = base + rng.NormFloat64()*0.1
+			}
+			rows[i] = row
+		}
+		coll[id] = uncertain.SampleSeries{Samples: rows, ID: id}
+	}
+	idx, err := NewIndex(coll, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := coll[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := idx.Filter(q, 3, q.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLowerBoundBetweenMatchesFilterBound(t *testing.T) {
+	coll := indexCollection(t, 10, 8, 3)
+	idx, err := NewIndex(coll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", idx.Len())
+	}
+	// LowerBoundBetween must agree with the bound the Filter walk computes
+	// for the same query series (entries are built identically).
+	qe := buildEntry(coll[2], idx.segments)
+	for ci := range coll {
+		want := idx.lowerBound(qe, ci)
+		if got := idx.LowerBoundBetween(2, ci); got != want {
+			t.Errorf("LowerBoundBetween(2, %d) = %v, want %v", ci, got, want)
+		}
+	}
+	// And it must lower-bound the exact interval bound.
+	for ci := range coll {
+		lo, _, err := Bounds(coll[2], coll[ci])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := idx.LowerBoundBetween(2, ci); got > lo+1e-12 {
+			t.Errorf("envelope bound %v exceeds exact lower bound %v for candidate %d", got, lo, ci)
+		}
+	}
+}

@@ -107,41 +107,84 @@ var ErrNeedMonteCarlo = errors.New("munich: DTW probabilities require EstimatorM
 
 // Probability returns Pr(distance(X, Y) <= eps) under the MUNICH semantics.
 func Probability(x, y uncertain.SampleSeries, eps float64, opts Options) (float64, error) {
+	p, _, err := ProbabilityCutoff(x, y, eps, math.Inf(-1), opts)
+	return p, err
+}
+
+// ProbabilityCutoff is Probability with an estimator-native early
+// rejection: the computation may stop — returning complete = false — as
+// soon as the final estimate is provably below cutoff in the estimator's
+// own arithmetic (the convolution CDF at eps^2 only decreases as further
+// timestamps convolve in; a Monte Carlo tally cannot beat hits-so-far plus
+// samples-remaining). A completed call returns exactly Probability's
+// value, so a threshold test against cutoff decides identically either
+// way; cutoff = -Inf never abandons. The exact estimator has no prefix
+// structure (meet-in-the-middle) and always completes.
+func ProbabilityCutoff(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options) (float64, bool, error) {
 	if err := x.Validate(); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if err := y.Validate(); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if x.Len() != y.Len() {
-		return 0, fmt.Errorf("munich: series lengths differ: %d vs %d", x.Len(), y.Len())
+		return 0, false, fmt.Errorf("munich: series lengths differ: %d vs %d", x.Len(), y.Len())
 	}
 	if eps < 0 {
-		return 0, nil
+		return 0, true, nil
 	}
 	opts = opts.withDefaults()
 
 	if opts.UseDTW {
 		if opts.Estimator != EstimatorMonteCarlo && opts.Estimator != EstimatorAuto {
-			return 0, ErrNeedMonteCarlo
+			return 0, false, ErrNeedMonteCarlo
 		}
-		return monteCarloProbability(x, y, eps, opts)
+		return monteCarloProbability(x, y, eps, cutoff, opts)
 	}
 
 	switch opts.Estimator {
 	case EstimatorMonteCarlo:
-		return monteCarloProbability(x, y, eps, opts)
+		return monteCarloProbability(x, y, eps, cutoff, opts)
 	case EstimatorExact:
-		return exactProbability(x, y, eps, opts.MaxExactCombos)
+		p, err := exactProbability(x, y, eps, opts.MaxExactCombos)
+		return p, err == nil, err
 	case EstimatorConvolution:
-		return convolutionProbability(x, y, eps, opts.Bins)
+		return convolutionProbability(x, y, eps, cutoff, opts.Bins)
 	default: // Auto
 		p, err := exactProbability(x, y, eps, opts.MaxExactCombos)
 		if err == nil {
-			return p, nil
+			return p, true, nil
 		}
-		return convolutionProbability(x, y, eps, opts.Bins)
+		return convolutionProbability(x, y, eps, cutoff, opts.Bins)
 	}
+}
+
+// ExactFeasible reports whether the exact meet-in-the-middle count fits
+// the options' combination cap for this pair — i.e. whether Probability
+// with EstimatorAuto (or EstimatorExact) resolves it exactly rather than
+// approximately. Callers use it to decide whether a bound proven against
+// the exact probability also bounds the estimate the refine step returns.
+func (o Options) ExactFeasible(x, y uncertain.SampleSeries) bool {
+	if o.UseDTW || o.Estimator == EstimatorConvolution || o.Estimator == EstimatorMonteCarlo {
+		return false
+	}
+	o = o.withDefaults()
+	n := x.Len()
+	if y.Len() != n {
+		return false
+	}
+	half := func(lo, hi int) bool {
+		size := 1
+		for i := lo; i < hi; i++ {
+			size *= len(x.Samples[i]) * len(y.Samples[i])
+			if size > o.MaxExactCombos || size <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	split := n / 2
+	return half(0, split) && half(split, n)
 }
 
 // Bounds returns lower and upper bounds on every feasible Euclidean distance
@@ -177,6 +220,73 @@ func Bounds(x, y uncertain.SampleSeries) (lo, hi float64, err error) {
 		hi2 += dmax * dmax
 	}
 	return math.Sqrt(lo2), math.Sqrt(hi2), nil
+}
+
+// ProbUpperBound returns a cheap, sound upper bound on Pr(distance(X, Y) <=
+// eps) without enumerating combinations. For any timestamp t the total
+// squared distance is at least d_t^2 plus the sum of the minimal squared
+// gaps of every other timestamp, so
+//
+//	Pr(dist <= eps) <= Pr(d_t^2 <= eps^2 - sum_{j != t} dmin_j^2)
+//
+// and the right-hand side is the fraction of sample pairs at timestamp t
+// within the residual budget — an O(sx*sy) count per timestamp, versus the
+// full estimator's enumeration or convolution. The bound is the minimum
+// over all timestamps. A range query can reject a candidate as soon as the
+// bound falls below tau — but only when the refine step is exact (see
+// Options.ExactFeasible): the bound holds for the exact probability, not
+// for a convolution or Monte Carlo estimate of it.
+func ProbUpperBound(x, y uncertain.SampleSeries, eps float64) (float64, error) {
+	if err := x.Validate(); err != nil {
+		return 0, err
+	}
+	if err := y.Validate(); err != nil {
+		return 0, err
+	}
+	if x.Len() != y.Len() {
+		return 0, fmt.Errorf("munich: series lengths differ: %d vs %d", x.Len(), y.Len())
+	}
+	if eps < 0 {
+		return 0, nil
+	}
+	n := x.Len()
+	dmin2 := make([]float64, n)
+	var lo2 float64
+	for i := 0; i < n; i++ {
+		xlo, xhi := x.MinMaxAt(i)
+		ylo, yhi := y.MinMaxAt(i)
+		var dmin float64
+		switch {
+		case xlo > yhi:
+			dmin = xlo - yhi
+		case ylo > xhi:
+			dmin = ylo - xhi
+		}
+		dmin2[i] = dmin * dmin
+		lo2 += dmin2[i]
+	}
+	eps2 := eps * eps
+	best := 1.0
+	for t := 0; t < n; t++ {
+		budget := eps2 - (lo2 - dmin2[t])
+		xs, ys := x.Samples[t], y.Samples[t]
+		within := 0
+		for _, a := range xs {
+			for _, b := range ys {
+				d := a - b
+				if d*d <= budget {
+					within++
+				}
+			}
+		}
+		if p := float64(within) / float64(len(xs)*len(ys)); p < best {
+			best = p
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best, nil
 }
 
 // PruneDecision classifies a candidate against a range predicate using only
@@ -283,9 +393,45 @@ func enumerateSums(ms [][]float64) []float64 {
 	return sums
 }
 
+// convCutoffMargin guards the convolution early rejection against the few
+// ulps by which the partial CDF readout can drift from the final one: the
+// shift-right monotonicity argument is exact-arithmetic, and the margin —
+// tiny next to any meaningful probability gap — keeps it sound under
+// floating point.
+const convCutoffMargin = 1e-9
+
+// binnedCDF reads the probability mass at or below eps2 off a histogram,
+// interpolating the boundary bin uniformly — the readout shared by the
+// final convolution answer and the early-rejection checks.
+func binnedCDF(probs []float64, width, eps2 float64) float64 {
+	var acc float64
+	for j, p := range probs {
+		upper := (float64(j) + 1) * width
+		if upper <= eps2 {
+			acc += p
+			continue
+		}
+		lower := float64(j) * width
+		if lower < eps2 {
+			// Partial bin: assume mass uniform within the bin.
+			acc += p * (eps2 - lower) / width
+		}
+		break
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc
+}
+
 // convolutionProbability approximates the distribution of the total squared
-// distance by repeated histogram convolution and reads off the CDF at eps^2.
-func convolutionProbability(x, y uncertain.SampleSeries, eps float64, bins int) (float64, error) {
+// distance by repeated histogram convolution and reads off the CDF at
+// eps^2. Because every per-timestamp squared difference is non-negative,
+// convolving in another timestamp only moves mass towards higher bins, so
+// the CDF at eps^2 is non-increasing across steps: once a partial readout
+// falls below the cutoff the final estimate must too, and the scan
+// abandons (complete = false).
+func convolutionProbability(x, y uncertain.SampleSeries, eps, cutoff float64, bins int) (float64, bool, error) {
 	n := x.Len()
 	// Upper bound of the total squared distance fixes the histogram domain.
 	var maxSum float64
@@ -299,15 +445,16 @@ func convolutionProbability(x, y uncertain.SampleSeries, eps float64, bins int) 
 	if maxSum == 0 {
 		// All materialisations coincide: distance 0 with probability 1.
 		if eps >= 0 {
-			return 1, nil
+			return 1, true, nil
 		}
-		return 0, nil
+		return 0, true, nil
 	}
+	eps2 := eps * eps
 	width := maxSum / float64(bins)
 	probs := make([]float64, bins)
 	probs[0] = 1
 	next := make([]float64, bins)
-	for _, m := range multisets {
+	for step, m := range multisets {
 		for i := range next {
 			next[i] = 0
 		}
@@ -326,38 +473,26 @@ func convolutionProbability(x, y uncertain.SampleSeries, eps float64, bins int) 
 			}
 		}
 		probs, next = next, probs
-	}
-	eps2 := eps * eps
-	var acc float64
-	for j, p := range probs {
-		upper := (float64(j) + 1) * width
-		if upper <= eps2 {
-			acc += p
-			continue
+		if step < n-1 && binnedCDF(probs, width, eps2) < cutoff-convCutoffMargin {
+			return 0, false, nil
 		}
-		lower := float64(j) * width
-		if lower < eps2 {
-			// Partial bin: assume mass uniform within the bin.
-			acc += p * (eps2 - lower) / width
-		}
-		break
 	}
-	if acc > 1 {
-		acc = 1
-	}
-	return acc, nil
+	return binnedCDF(probs, width, eps2), true, nil
 }
 
 // monteCarloProbability samples materialisation pairs uniformly and returns
 // the fraction within eps. It supports both Euclidean and DTW inner
-// distances.
-func monteCarloProbability(x, y uncertain.SampleSeries, eps float64, opts Options) (float64, error) {
+// distances. The tally abandons (complete = false) once even an all-hit
+// remainder could not lift the estimate to the cutoff — an integer-exact
+// test, so the implied threshold decision matches the full run's.
+func monteCarloProbability(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options) (float64, bool, error) {
 	rng := stats.SplitRand(opts.Seed, int64(x.ID)<<20|int64(y.ID))
 	n := x.Len()
+	total := opts.MonteCarloSamples
 	bufX := make([]float64, n)
 	bufY := make([]float64, n)
 	hits := 0
-	for s := 0; s < opts.MonteCarloSamples; s++ {
+	for s := 0; s < total; s++ {
 		for i := 0; i < n; i++ {
 			bufX[i] = x.Samples[i][rng.Intn(len(x.Samples[i]))]
 			bufY[i] = y.Samples[i][rng.Intn(len(y.Samples[i]))]
@@ -370,13 +505,16 @@ func monteCarloProbability(x, y uncertain.SampleSeries, eps float64, opts Option
 			d, err = distance.Euclidean(bufX, bufY)
 		}
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if d <= eps {
 			hits++
 		}
+		if float64(hits+total-1-s)/float64(total) < cutoff {
+			return 0, false, nil
+		}
 	}
-	return float64(hits) / float64(opts.MonteCarloSamples), nil
+	return float64(hits) / float64(total), true, nil
 }
 
 // Matcher answers probabilistic range queries PRQ(Q, C, eps, tau) over

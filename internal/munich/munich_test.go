@@ -2,6 +2,7 @@ package munich
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"uncertts/internal/stats"
@@ -363,5 +364,156 @@ func TestExactHandlesOddSplit(t *testing.T) {
 		if !almostEqual(got, want, 1e-12) {
 			t.Errorf("eps=%v: got %v, want %v", eps, got, want)
 		}
+	}
+}
+
+// randomSampleSeries draws a sample series around a base walk.
+func randomSampleSeries(rng *rand.Rand, id, n, samples int, spread, offset float64) uncertain.SampleSeries {
+	rows := make([][]float64, n)
+	base := offset
+	for i := range rows {
+		base += rng.NormFloat64() * 0.3
+		row := make([]float64, samples)
+		for j := range row {
+			row[j] = base + rng.NormFloat64()*spread
+		}
+		rows[i] = row
+	}
+	return uncertain.SampleSeries{Samples: rows, ID: id}
+}
+
+// TestProbUpperBoundDominatesProbability: the per-timestamp sample-pair
+// bound must never fall below the exact probability.
+func TestProbUpperBoundDominatesProbability(t *testing.T) {
+	rng := stats.NewRand(23)
+	for trial := 0; trial < 30; trial++ {
+		x := randomSampleSeries(rng, 0, 6, 3, 0.2, 0)
+		y := randomSampleSeries(rng, 1, 6, 3, 0.2, rng.Float64()*2)
+		for _, eps := range []float64{0.3, 1, 2, 4} {
+			up, err := ProbUpperBound(x, y, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := Probability(x, y, eps, Options{Estimator: EstimatorExact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if up < exact-1e-12 {
+				t.Fatalf("trial %d eps=%v: upper bound %v below exact probability %v", trial, eps, up, exact)
+			}
+		}
+	}
+}
+
+func TestProbUpperBoundEdgeCases(t *testing.T) {
+	x := tinySeries(0, []float64{0, 0}, []float64{0, 0})
+	y := tinySeries(1, []float64{5, 5}, []float64{5, 5})
+	// Distance is exactly sqrt(50); any eps below excludes everything.
+	up, err := ProbUpperBound(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up != 0 {
+		t.Errorf("disjoint far series: bound = %v, want 0", up)
+	}
+	if p, _ := ProbUpperBound(x, y, -1); p != 0 {
+		t.Errorf("negative eps: bound = %v, want 0", p)
+	}
+	if _, err := ProbUpperBound(x, tinySeries(2, []float64{1}), 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ProbUpperBound(uncertain.SampleSeries{}, y, 1); err == nil {
+		t.Error("invalid series should error")
+	}
+	// Identical certain series: every materialisation is at distance 0.
+	z := tinySeries(3, []float64{1, 1}, []float64{2, 2})
+	if p, _ := ProbUpperBound(z, z, 0); p != 1 {
+		t.Errorf("identical series at eps=0: bound = %v, want 1", p)
+	}
+}
+
+// TestProbabilityCutoffAgreesWithProbability: a completed cutoff run must
+// return exactly Probability's value; an abandoned one must imply the full
+// estimate is below the cutoff — across every estimator.
+func TestProbabilityCutoffAgreesWithProbability(t *testing.T) {
+	rng := stats.NewRand(29)
+	estimators := []Options{
+		{Estimator: EstimatorExact},
+		{Estimator: EstimatorConvolution, Bins: 256},
+		{Estimator: EstimatorMonteCarlo, MonteCarloSamples: 400},
+		{Bins: 256}, // Auto
+	}
+	for trial := 0; trial < 20; trial++ {
+		x := randomSampleSeries(rng, 0, 8, 2, 0.2, 0)
+		y := randomSampleSeries(rng, 1, 8, 2, 0.2, rng.Float64()*3)
+		for _, opts := range estimators {
+			for _, eps := range []float64{0.5, 2, 5} {
+				full, err := Probability(x, y, eps, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cutoff := range []float64{0.05, 0.5, 0.99} {
+					p, complete, err := ProbabilityCutoff(x, y, eps, cutoff, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if complete {
+						if p != full {
+							t.Fatalf("estimator %v eps=%v cutoff=%v: completed cutoff run returned %v, Probability %v",
+								opts.Estimator, eps, cutoff, p, full)
+						}
+						continue
+					}
+					if full >= cutoff {
+						t.Fatalf("estimator %v eps=%v: abandoned at cutoff %v but full estimate is %v",
+							opts.Estimator, eps, cutoff, full)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilityCutoffNeverAbandonsAtMinusInf(t *testing.T) {
+	rng := stats.NewRand(31)
+	x := randomSampleSeries(rng, 0, 6, 3, 0.3, 0)
+	y := randomSampleSeries(rng, 1, 6, 3, 0.3, 4)
+	for _, opts := range []Options{{Estimator: EstimatorConvolution, Bins: 128}, {Estimator: EstimatorMonteCarlo, MonteCarloSamples: 200}} {
+		p, complete, err := ProbabilityCutoff(x, y, 0.1, math.Inf(-1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !complete {
+			t.Fatalf("estimator %v: abandoned with cutoff -Inf (p=%v)", opts.Estimator, p)
+		}
+	}
+}
+
+func TestExactFeasible(t *testing.T) {
+	small := tinySeries(0, []float64{0, 1}, []float64{1, 2}, []float64{3})
+	if !(Options{}).ExactFeasible(small, small) {
+		t.Error("tiny pair should be exactly countable")
+	}
+	if (Options{MaxExactCombos: 3}).ExactFeasible(small, small) {
+		t.Error("cap of 3 cannot fit a 4-combination half")
+	}
+	if (Options{UseDTW: true}).ExactFeasible(small, small) {
+		t.Error("DTW pairs are never exactly countable")
+	}
+	if (Options{Estimator: EstimatorConvolution}).ExactFeasible(small, small) {
+		t.Error("a forced convolution estimator never refines exactly")
+	}
+	if (Options{Estimator: EstimatorMonteCarlo}).ExactFeasible(small, small) {
+		t.Error("a forced Monte Carlo estimator never refines exactly")
+	}
+	if (Options{}).ExactFeasible(small, tinySeries(1, []float64{1})) {
+		t.Error("length mismatch is not feasible")
+	}
+	// Feasibility must agree with the estimator actually taking the exact
+	// path: a large pair falls back, and ExactFeasible must say so.
+	rng := stats.NewRand(37)
+	big := randomSampleSeries(rng, 2, 30, 4, 0.2, 0)
+	if (Options{}).ExactFeasible(big, big) {
+		t.Error("16^15 combinations per half cannot fit the default cap")
 	}
 }

@@ -1,0 +1,120 @@
+package proud
+
+import (
+	"math"
+
+	"uncertts/internal/stats"
+)
+
+// Batch-side prefix bounds: the same sound early-decision machinery as
+// Stream.earlyDecision, extended for the case where the whole candidate
+// series is resident. A batch scanner accumulates the distance moments
+// timestamp by timestamp (in exactly Distance's order, so a completed scan
+// is bit-identical to the full computation) and periodically asks whether
+// the predicate outcome is already forced. The stream variant can only
+// bound the eventual moments from below (every unseen timestamp adds at
+// least varD to the mean); with the data resident the scanner can also
+// bound the unseen observation gap from above — via precomputed suffix
+// energies and (q_j - c_j)^2 <= 2 q_j^2 + 2 c_j^2 — which unlocks certain
+// accepts and, for epsLimit < 0 (tau < 1/2, PROUD's calibrated regime),
+// certain rejects that the stream bound cannot reach.
+
+// SuffixEnergy precomputes, for one observation vector, the tail sums of
+// squared values: out[t] = sum_{j >= t} obs[j]^2, with out[len(obs)] = 0.
+// The sum of two series' suffix energies at t, doubled, upper-bounds the
+// unseen squared-gap energy sum_{j >= t} (q_j - c_j)^2.
+func SuffixEnergy(obs []float64) []float64 {
+	out := make([]float64, len(obs)+1)
+	for t := len(obs) - 1; t >= 0; t-- {
+		out[t] = out[t+1] + obs[t]*obs[t]
+	}
+	return out
+}
+
+// momentBounds returns conservative bounds on the eventual distance moments
+// given the prefix accumulation, the number of unseen timestamps, the
+// per-timestamp error variance sum varD, and an upper bound maxGapEnergy on
+// the unseen squared-gap energy (+Inf when unknown). The bounds are widened
+// by a relative slack so that floating-point drift between this closed-form
+// arithmetic and the term-by-term accumulation of the full scan can never
+// flip a "certain" decision away from what the completed scan would return.
+func momentBounds(mean, variance float64, remaining int, varD, maxGapEnergy float64) (loMean, hiMean, loVar, hiVar float64) {
+	rem := float64(remaining)
+	loMean = mean + rem*varD
+	loVar = variance + rem*2*varD*varD
+	hiMean = loMean + maxGapEnergy
+	hiVar = loVar + 4*varD*maxGapEnergy
+	const rel = 1e-12
+	loMean -= rel * math.Abs(loMean)
+	hiMean += rel * math.Abs(hiMean)
+	loVar -= rel * loVar
+	if loVar < 0 {
+		loVar = 0
+	}
+	hiVar += rel * hiVar
+	return loMean, hiMean, loVar, hiVar
+}
+
+// PrefixDecide returns the certain outcome of the PROUD acceptance test
+// (EpsNorm(eps) >= epsLimit) given only a prefix of the accumulation, or
+// Undecided when unseen data could still swing it. mean and variance are
+// the moments accumulated so far (Distance's order), remaining the count of
+// unseen timestamps, varD the per-timestamp error variance sum, and
+// maxGapEnergy an upper bound on sum_{unseen} (q_j - c_j)^2 — pass +Inf to
+// recover exactly the stream's weaker bound (no certain accepts, and no
+// certain rejects when epsLimit < 0).
+//
+// Soundness: the eventual mean lies in [loMean, hiMean] and the eventual
+// variance in [loVar, hiVar]. The acceptance test eps^2 - E >= epsLimit*sd
+// is monotone in each: reject is certain when even the friendliest
+// completion (smallest E; smallest sd for epsLimit >= 0, largest sd for
+// epsLimit < 0) fails, accept when even the harshest completion passes.
+func PrefixDecide(mean, variance float64, remaining int, varD, maxGapEnergy, eps, epsLimit float64) Decision {
+	loMean, hiMean, loVar, hiVar := momentBounds(mean, variance, remaining, varD, maxGapEnergy)
+	eps2 := eps * eps
+	if epsLimit >= 0 {
+		if eps2-loMean < epsLimit*math.Sqrt(loVar) {
+			return Reject
+		}
+		if eps2-hiMean >= epsLimit*math.Sqrt(hiVar) {
+			return Accept
+		}
+		return Undecided
+	}
+	if eps2-loMean < epsLimit*math.Sqrt(hiVar) {
+		return Reject
+	}
+	if eps2-hiMean >= epsLimit*math.Sqrt(loVar) {
+		return Accept
+	}
+	return Undecided
+}
+
+// ProbWithinUpper returns an upper bound on the eventual Pr(dist^2 <=
+// eps^2) from a prefix of the accumulation — the top-k pruning companion of
+// PrefixDecide: a candidate whose bound falls below the k-th best match
+// probability found so far cannot enter the answer. The bound maximises
+// EpsNorm = (eps^2 - E)/sd over the feasible moment box (treating E and sd
+// as independent, which only loosens it) and pushes the result through the
+// normal CDF.
+func ProbWithinUpper(mean, variance float64, remaining int, varD, maxGapEnergy, eps float64) float64 {
+	loMean, _, loVar, hiVar := momentBounds(mean, variance, remaining, varD, maxGapEnergy)
+	eps2 := eps * eps
+	num := eps2 - loMean // largest feasible numerator
+	var en float64
+	switch {
+	case num >= 0:
+		sd := math.Sqrt(loVar)
+		if sd == 0 {
+			return 1 // point mass at or below eps^2 is feasible
+		}
+		en = num / sd
+	default:
+		sd := math.Sqrt(hiVar)
+		if sd == 0 {
+			return 0 // point mass certainly above eps^2
+		}
+		en = num / sd
+	}
+	return stats.NormalCDF(en)
+}

@@ -1,0 +1,159 @@
+package proud
+
+import (
+	"math"
+	"testing"
+
+	"uncertts/internal/stats"
+)
+
+// prefixPair builds two observation vectors with a controllable gap level.
+func prefixPair(rng interface{ NormFloat64() float64 }, n int, gap float64) (q, c []float64) {
+	q = make([]float64, n)
+	c = make([]float64, n)
+	for i := 0; i < n; i++ {
+		q[i] = rng.NormFloat64()
+		c[i] = q[i] + gap*rng.NormFloat64()
+	}
+	return q, c
+}
+
+// accumulate replays Distance's accumulation over the first t timestamps.
+func accumulate(q, c []float64, varD float64, t int) (mean, variance float64) {
+	for i := 0; i < t; i++ {
+		mu := q[i] - c[i]
+		mean += mu*mu + varD
+		variance += 2*varD*varD + 4*varD*mu*mu
+	}
+	return mean, variance
+}
+
+// TestPrefixDecideAgreesWithFullDecision: whenever PrefixDecide claims a
+// certain outcome at any prefix, it must equal the decision of the
+// completed accumulation — across gap levels, eps, and both epsLimit
+// signs.
+func TestPrefixDecideAgreesWithFullDecision(t *testing.T) {
+	rng := stats.NewRand(11)
+	const n = 64
+	sigma := 0.4
+	varD := sigma*sigma + sigma*sigma
+	for _, gap := range []float64{0, 0.3, 1.5, 6} {
+		for trial := 0; trial < 20; trial++ {
+			q, c := prefixPair(rng, n, gap)
+			sufQ, sufC := SuffixEnergy(q), SuffixEnergy(c)
+			for _, tau := range []float64{0.05, 0.5, 0.95} {
+				limit, err := EpsLimit(tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, eps := range []float64{0.5, 3, 8, 20} {
+					fullMean, fullVar := accumulate(q, c, varD, n)
+					full := DistanceDist{Mean: fullMean, Variance: fullVar}
+					want := Reject
+					if full.EpsNorm(eps) >= limit {
+						want = Accept
+					}
+					decidedAt := -1
+					for pre := 1; pre < n; pre++ {
+						mean, variance := accumulate(q, c, varD, pre)
+						gapBound := 2 * (sufQ[pre] + sufC[pre])
+						got := PrefixDecide(mean, variance, n-pre, varD, gapBound, eps, limit)
+						if got == Undecided {
+							continue
+						}
+						if got != want {
+							t.Fatalf("gap=%g tau=%g eps=%g prefix=%d: PrefixDecide = %v, full decision = %v",
+								gap, tau, eps, pre, got, want)
+						}
+						if decidedAt < 0 {
+							decidedAt = pre
+						}
+					}
+					_ = decidedAt
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixDecideUnboundedGapMatchesStream: with maxGapEnergy = +Inf the
+// decision must degrade to exactly the stream's weaker bound — no certain
+// accepts ever, and no certain rejects when epsLimit < 0.
+func TestPrefixDecideUnboundedGapMatchesStream(t *testing.T) {
+	rng := stats.NewRand(13)
+	const n = 32
+	sigma := 0.5
+	varD := sigma*sigma + sigma*sigma
+	q, c := prefixPair(rng, n, 2)
+	for _, tau := range []float64{0.1, 0.7} {
+		limit, err := EpsLimit(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{1, 5, 15} {
+			s, err := NewStream(eps, tau, n, sigma, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pre := 1; pre < n; pre++ {
+				if err := s.Push(q[pre-1], c[pre-1]); err != nil {
+					t.Fatal(err)
+				}
+				mean, variance := accumulate(q, c, varD, pre)
+				got := PrefixDecide(mean, variance, n-pre, varD, math.Inf(1), eps, limit)
+				if want := s.Decide(); got != want {
+					t.Fatalf("tau=%g eps=%g prefix=%d: PrefixDecide(inf gap) = %v, stream = %v",
+						tau, eps, pre, got, want)
+				}
+				if got == Accept {
+					t.Fatalf("certain accept with unbounded gap energy at prefix %d", pre)
+				}
+				if limit < 0 && got == Reject {
+					t.Fatalf("certain reject with unbounded gap energy and epsLimit < 0 at prefix %d", pre)
+				}
+			}
+		}
+	}
+}
+
+// TestProbWithinUpperBoundsExactProbability: the prefix probability bound
+// must dominate the completed ProbWithin at every prefix.
+func TestProbWithinUpperBoundsExactProbability(t *testing.T) {
+	rng := stats.NewRand(17)
+	const n = 48
+	sigma := 0.3
+	varD := sigma*sigma + sigma*sigma
+	for _, gap := range []float64{0, 0.5, 3} {
+		for trial := 0; trial < 20; trial++ {
+			q, c := prefixPair(rng, n, gap)
+			sufQ, sufC := SuffixEnergy(q), SuffixEnergy(c)
+			for _, eps := range []float64{1, 4, 10} {
+				fullMean, fullVar := accumulate(q, c, varD, n)
+				exact := DistanceDist{Mean: fullMean, Variance: fullVar}.ProbWithin(eps)
+				for pre := 1; pre <= n; pre++ {
+					mean, variance := accumulate(q, c, varD, pre)
+					gapBound := 2 * (sufQ[pre] + sufC[pre])
+					up := ProbWithinUpper(mean, variance, n-pre, varD, gapBound, eps)
+					if up < exact-1e-12 {
+						t.Fatalf("gap=%g eps=%g prefix=%d: upper bound %v below exact probability %v",
+							gap, eps, pre, up, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSuffixEnergy(t *testing.T) {
+	obs := []float64{1, -2, 3}
+	suf := SuffixEnergy(obs)
+	want := []float64{14, 13, 9, 0}
+	if len(suf) != len(want) {
+		t.Fatalf("len = %d, want %d", len(suf), len(want))
+	}
+	for i := range want {
+		if suf[i] != want[i] {
+			t.Errorf("suf[%d] = %v, want %v", i, suf[i], want[i])
+		}
+	}
+}

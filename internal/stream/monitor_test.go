@@ -229,3 +229,116 @@ func TestMonitorEarlyDecisionEmittedOnce(t *testing.T) {
 		t.Fatalf("second epoch events = %+v", events)
 	}
 }
+
+// TestMonitorDrainsUntilEpochBoundary pins the drain window push by push:
+// after an early decision, every remaining push of the epoch must emit
+// nothing, and the boundary must reset the state for a fresh epoch.
+func TestMonitorDrainsUntilEpochBoundary(t *testing.T) {
+	ref := make([]float64, 5)
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 2, Tau: 0.7})
+	// The first far push forces an early rejection...
+	events, err := m.Push(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Decision != proud.Reject || !events[0].Early || events[0].Timestamp != 0 {
+		t.Fatalf("first push events = %+v, want one early reject at timestamp 0", events)
+	}
+	// ...and the remaining 4 pushes of the epoch drain silently.
+	for i := 1; i < len(ref); i++ {
+		events, err := m.Push(0, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 0 {
+			t.Fatalf("drain push %d emitted %+v, want nothing", i, events)
+		}
+	}
+	// The next epoch evaluates afresh: matching data accepts exactly at the
+	// new epoch's boundary.
+	for i := 0; i < len(ref); i++ {
+		events, err := m.Push(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(ref)-1 {
+			if len(events) != 0 {
+				t.Fatalf("second epoch push %d emitted %+v before the boundary", i, events)
+			}
+			continue
+		}
+		if len(events) != 1 || events[0].Decision != proud.Accept || events[0].Early || events[0].Timestamp != len(ref)-1 {
+			t.Fatalf("second epoch decision = %+v, want boundary accept at timestamp %d", events, len(ref)-1)
+		}
+	}
+}
+
+// TestMonitorRestartsEvaluatorAfterEachEpoch verifies the evaluator is
+// rebuilt on the push that follows a completed epoch: decisions land on
+// every epoch boundary with per-epoch (not cumulative) statistics, so an
+// epoch of far data between two matching epochs flips only its own
+// decision.
+func TestMonitorRestartsEvaluatorAfterEachEpoch(t *testing.T) {
+	ref := []float64{0, 1, 0, 1}
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 3, Tau: 0.5})
+	feed := func(vals []float64) []Event {
+		t.Helper()
+		evs, err := m.PushBatch(0, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	first := feed(ref)
+	if len(first) != 1 || first[0].Decision != proud.Accept {
+		t.Fatalf("epoch 1 events = %+v", first)
+	}
+	far := feed([]float64{40, 40, 40, 40})
+	if len(far) != 1 || far[0].Decision != proud.Reject {
+		t.Fatalf("epoch 2 events = %+v", far)
+	}
+	// A stale evaluator would carry epoch 2's huge accumulated distance
+	// into epoch 3 and reject; a fresh one accepts.
+	third := feed(ref)
+	if len(third) != 1 || third[0].Decision != proud.Accept {
+		t.Fatalf("epoch 3 events = %+v, want accept from a fresh evaluator", third)
+	}
+}
+
+// TestMonitorStreamStateIsolationDuringDrain interleaves a stream that is
+// draining an early decision with one that is still evaluating: the
+// drain state of one stream must not advance, decide, or reset the other.
+func TestMonitorStreamStateIsolationDuringDrain(t *testing.T) {
+	ref := make([]float64, 4)
+	m := newTestMonitor(t, Pattern{ID: 1, Values: ref, Eps: 2, Tau: 0.7})
+	// Stream 7 rejects early on its first push and enters its drain.
+	evs, err := m.Push(7, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].StreamID != 7 || !evs[0].Early {
+		t.Fatalf("stream 7 events = %+v", evs)
+	}
+	// Stream 8 starts later and receives matching data, interleaved with
+	// stream 7's silent drain pushes.
+	var got []Event
+	for i := 0; i < len(ref); i++ {
+		evs, err := m.Push(8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+		if i < len(ref)-1 {
+			drain, err := m.Push(7, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(drain) != 0 {
+				t.Fatalf("stream 7 drain push %d emitted %+v", i, drain)
+			}
+		}
+	}
+	if len(got) != 1 || got[0].StreamID != 8 || got[0].Decision != proud.Accept || got[0].Timestamp != len(ref)-1 {
+		t.Fatalf("stream 8 events = %+v, want one boundary accept", got)
+	}
+}

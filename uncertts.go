@@ -267,8 +267,15 @@ func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]Met
 // QueryEngine is the pruned top-k / range similarity engine: it serves the
 // MUNICH/PROUD/DUST/UMA-family measures over a workload with early
 // abandoning, LB_Keogh envelope pruning (banded DTW) and shared DUST phi
-// tables, executing batches on a sharded work-stealing pool. Answers are
-// exact — identical to the naive full scan — for every worker count.
+// tables, executing batches on a sharded work-stealing pool. The
+// probabilistic measures (MeasurePROUD, MeasureMUNICH) answer threshold
+// queries — ProbRange(qi, eps, tau) and the probability-ranked
+// ProbTopK(qi, eps, k) — pruned by measure-native bounds: MUNICH walks a
+// segment-envelope lower bound, the exact bounding-interval prune and a
+// per-timestamp sample-pair bound before any combination counting; PROUD
+// stops accumulating as soon as sound prefix bounds force the predicate.
+// Answers are exact — identical to the naive full scan — for every worker
+// count.
 type QueryEngine = engine.Engine
 
 // QueryEngineOptions configures a QueryEngine.
@@ -288,10 +295,16 @@ const (
 	MeasureUEMA      = engine.MeasureUEMA
 	MeasureDTW       = engine.MeasureDTW
 	MeasureDUST      = engine.MeasureDUST
+	MeasurePROUD     = engine.MeasurePROUD
+	MeasureMUNICH    = engine.MeasureMUNICH
 )
 
 // Neighbor pairs a series ID with its distance from a query.
 type Neighbor = query.Neighbor
+
+// ProbMatch pairs a candidate index with its match probability
+// Pr(distance <= eps); the result unit of the engine's ProbTopK queries.
+type ProbMatch = engine.ProbMatch
 
 // NewQueryEngine builds a pruned query engine over the workload.
 func NewQueryEngine(w *Workload, opts QueryEngineOptions) (*QueryEngine, error) {
