@@ -1,4 +1,5 @@
-// Command uncertbench regenerates the paper's evaluation figures.
+// Command uncertbench regenerates the paper's evaluation figures and
+// benchmarks the query engine.
 //
 // Usage:
 //
@@ -8,39 +9,71 @@
 //
 // Each experiment prints one or more tables whose rows mirror the series
 // plotted in the corresponding figure of the paper.
+//
+// The -bench mode times one batched query per measure through the pruned
+// engine and reports ns/op next to the pruning counters; -json switches
+// the report to machine-readable JSON so the perf trajectory can be
+// tracked across changes (the repository keeps baselines as BENCH_*.json):
+//
+//	uncertbench -bench -scale small -json > BENCH.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"uncertts/internal/core"
+	"uncertts/internal/engine"
 	"uncertts/internal/experiments"
+	"uncertts/internal/munich"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
 )
 
-func main() {
+// run is main with its environment injected, so tests can drive the
+// command end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uncertbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig4..fig17, chisquare, topk, classify, or 'all')")
-		scale  = flag.String("scale", "small", "workload scale: small, medium or full")
-		seed   = flag.Int64("seed", 42, "random seed; equal seeds reproduce identical tables")
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		outDir = flag.String("out", "", "also write each table as a TSV file into this directory")
+		exp      = fs.String("exp", "all", "experiment to run (fig4..fig17, chisquare, topk, classify, or 'all')")
+		scale    = fs.String("scale", "small", "workload scale: small, medium or full")
+		seed     = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical tables")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		outDir   = fs.String("out", "", "also write each table as a TSV file into this directory")
+		bench    = fs.Bool("bench", false, "benchmark the query engine (one batched query per measure) instead of running experiments")
+		jsonOut  = fs.Bool("json", false, "emit -bench results as JSON (machine-readable; requires -bench)")
+		benchTau = fs.Float64("tau", 0.1, "probability threshold of the -bench probabilistic queries")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return nil
+	}
+	if *jsonOut && !*bench {
+		return fmt.Errorf("-json requires -bench (experiment tables are TSV; use -out)")
 	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if *bench {
+		if *benchTau <= 0 || *benchTau >= 1 {
+			return fmt.Errorf("-tau = %v outside (0, 1)", *benchTau)
+		}
+		return runBench(stdout, stderr, sc, *seed, *benchTau, *jsonOut)
 	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed}
 
@@ -52,25 +85,140 @@ func main() {
 	for _, name := range names {
 		runner, ok := registry[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q; use -list to see the options", name))
+			return fmt.Errorf("unknown experiment %q; use -list to see the options", name)
 		}
 		start := time.Now()
 		tables, err := runner(cfg)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		for _, t := range tables {
-			if err := t.Render(os.Stdout); err != nil {
-				fatal(err)
+			if err := t.Render(stdout); err != nil {
+				return err
 			}
 			if *outDir != "" {
 				if err := writeTSV(*outDir, t); err != nil {
-					fatal(err)
+					return err
 				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "%s done in %v\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "uncertbench:", err)
+		os.Exit(1)
+	}
+}
+
+// BenchResult is the machine-readable record of one measure's benchmark:
+// wall time per query plus the engine's pruning counters, so the perf
+// trajectory (and the pruning behaviour behind it) can be tracked across
+// changes.
+type BenchResult struct {
+	Measure          string  `json:"measure"`
+	Queries          int     `json:"queries"`
+	Series           int     `json:"series"`
+	Length           int     `json:"length"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	Candidates       int64   `json:"candidates"`
+	Completed        int64   `json:"completed"`
+	AbandonedEarly   int64   `json:"abandoned_early"`
+	PrunedByEnvelope int64   `json:"pruned_by_envelope"`
+	ResolvedByBounds int64   `json:"resolved_by_bounds"`
+	ResolvedEarly    int64   `json:"resolved_early"`
+	PrunedFraction   float64 `json:"pruned_fraction"`
+}
+
+// benchShape maps a scale to the benchmark workload size.
+func benchShape(sc experiments.Scale) (series, length int) {
+	switch sc {
+	case experiments.ScaleFull:
+		return 96, 128
+	case experiments.ScaleMedium:
+		return 48, 96
+	default:
+		return 24, 48
+	}
+}
+
+// runBench times one batched query per measure over a shared workload:
+// top-10 for the distance measures, a probabilistic range query at the
+// calibrated eps for PROUD and MUNICH.
+func runBench(stdout, stderr io.Writer, sc experiments.Scale, seed int64, tau float64, asJSON bool) error {
+	series, length := benchShape(sc)
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: series, Length: length, Seed: seed})
+	if err != nil {
+		return err
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.5, length, seed)
+	if err != nil {
+		return err
+	}
+	w, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5, SamplesPerTS: 5})
+	if err != nil {
+		return err
+	}
+	queries := make([]int, w.Len())
+	var epsSum float64
+	for i := range queries {
+		queries[i] = i
+		epsSum += w.EpsEucl(i)
+	}
+	eps := epsSum / float64(len(queries))
+
+	var results []BenchResult
+	for _, m := range engine.Measures() {
+		e, err := engine.New(w, engine.Options{Measure: m, MUNICH: munich.Options{Bins: 1024}})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		start := time.Now()
+		if m.Probabilistic() {
+			if _, err := e.ProbRangeBatch(queries, eps, tau); err != nil {
+				return fmt.Errorf("%s: %w", m, err)
+			}
+		} else {
+			if _, err := e.TopKBatch(queries, 10); err != nil {
+				return fmt.Errorf("%s: %w", m, err)
+			}
+		}
+		elapsed := time.Since(start)
+		st := e.Stats()
+		r := BenchResult{
+			Measure:          m.String(),
+			Queries:          len(queries),
+			Series:           series,
+			Length:           length,
+			NsPerOp:          elapsed.Nanoseconds() / int64(len(queries)),
+			Candidates:       st.Candidates,
+			Completed:        st.Completed,
+			AbandonedEarly:   st.AbandonedEarly,
+			PrunedByEnvelope: st.PrunedByEnvelope,
+			ResolvedByBounds: st.ResolvedByBounds,
+			ResolvedEarly:    st.ResolvedEarly,
+		}
+		if st.Candidates > 0 {
+			r.PrunedFraction = float64(st.Pruned()) / float64(st.Candidates)
+		}
+		results = append(results, r)
+		fmt.Fprintf(stderr, "%s done in %v\n", m, elapsed.Round(time.Millisecond))
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	fmt.Fprintf(stdout, "%-10s %14s %12s %12s %10s %10s\n", "measure", "ns/op", "candidates", "completed", "abandoned", "pruned%")
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%-10s %14d %12d %12d %10d %9.1f%%\n",
+			r.Measure, r.NsPerOp, r.Candidates, r.Completed, r.AbandonedEarly, 100*r.PrunedFraction)
+	}
+	return nil
 }
 
 // writeTSV saves a table as <dir>/<name>.tsv, one header line plus one line
@@ -93,9 +241,4 @@ func writeTSV(dir string, t experiments.Table) error {
 		}
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uncertbench:", err)
-	os.Exit(1)
 }

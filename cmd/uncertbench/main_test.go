@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown experiment": {"-exp", "fig99"},
+		"unknown scale":      {"-scale", "huge"},
+		"json without bench": {"-json"},
+		"bad tau":            {"-bench", "-tau", "1.5"},
+		"unknown flag":       {"-nope"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s (%v): expected an error", name, args)
+		}
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig5") {
+		t.Errorf("-list output missing fig5:\n%s", out.String())
+	}
+}
+
+// TestEndToEndExperiment runs one real figure regeneration at the small
+// scale and checks a table came out.
+func TestEndToEndExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "chisquare", "-scale", "small", "-seed", "7"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chisquare") {
+		t.Errorf("experiment output missing its table:\n%s", out.String())
+	}
+}
+
+// TestBenchJSON runs the engine benchmark at the small scale and checks
+// the machine-readable output: all seven measures, positive timings, and
+// the stats accounting identity.
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "-scale", "small", "-seed", "7", "-json"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var results []BenchResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("bench output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d measures, want 7", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Measure] = true
+		if r.NsPerOp <= 0 || r.Queries <= 0 || r.Candidates <= 0 {
+			t.Errorf("%s: implausible result %+v", r.Measure, r)
+		}
+		if sum := r.Completed + r.AbandonedEarly + r.PrunedByEnvelope + r.ResolvedByBounds + r.ResolvedEarly; sum != r.Candidates {
+			t.Errorf("%s: accounting identity broken: %+v", r.Measure, r)
+		}
+	}
+	for _, m := range []string{"Euclidean", "UMA", "UEMA", "DTW", "DUST", "PROUD", "MUNICH"} {
+		if !seen[m] {
+			t.Errorf("measure %s missing from bench output", m)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"uncertts/internal/timeseries"
@@ -18,39 +19,54 @@ import (
 	"uncertts/internal/uncertain"
 )
 
-func main() {
+// run is main with its environment injected, so tests can drive the
+// command end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uncertgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("dataset", "CBF", "dataset name (see -list)")
-		series  = flag.Int("series", 0, "number of series (0 = the dataset's full cardinality)")
-		length  = flag.Int("length", 0, "series length (0 = the dataset's native length)")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		list    = flag.Bool("list", false, "list dataset names and exit")
-		perturb = flag.String("perturb", "", "optionally perturb with this error family: normal, uniform or exponential")
-		sigma   = flag.Float64("sigma", 0.6, "error standard deviation when -perturb is set")
+		name    = fs.String("dataset", "CBF", "dataset name (see -list)")
+		series  = fs.Int("series", 0, "number of series (0 = the dataset's full cardinality)")
+		length  = fs.Int("length", 0, "series length (0 = the dataset's native length)")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		list    = fs.Bool("list", false, "list dataset names and exit")
+		perturb = fs.String("perturb", "", "optionally perturb with this error family: normal, uniform or exponential")
+		sigma   = fs.Float64("sigma", 0.6, "error standard deviation when -perturb is set")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, spec := range ucr.Specs() {
-			fmt.Printf("%-18s classes=%-3d series=%-5d length=%d\n",
+			fmt.Fprintf(stdout, "%-18s classes=%-3d series=%-5d length=%d\n",
 				spec.Name, spec.Classes, spec.Series, spec.Length)
 		}
-		return
+		return nil
+	}
+	if *series < 0 {
+		return fmt.Errorf("-series = %d must be non-negative", *series)
+	}
+	if *length < 0 {
+		return fmt.Errorf("-length = %d must be non-negative", *length)
+	}
+	if *sigma < 0 {
+		return fmt.Errorf("-sigma = %v must be non-negative", *sigma)
 	}
 
 	ds, err := ucr.Generate(*name, ucr.Options{MaxSeries: *series, Length: *length, Seed: *seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *perturb != "" {
 		family, err := parseFamily(*perturb)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p, err := uncertain.NewConstantPerturber(family, *sigma, ds.Series[0].Len(), *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for i := range ds.Series {
 			ps := p.PerturbPDF(ds.Series[i])
@@ -58,8 +74,13 @@ func main() {
 		}
 	}
 
-	if err := timeseries.WriteCSV(os.Stdout, ds); err != nil {
-		fatal(err)
+	return timeseries.WriteCSV(stdout, ds)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "uncertgen:", err)
+		os.Exit(1)
 	}
 }
 
@@ -70,9 +91,4 @@ func parseFamily(s string) (uncertain.ErrorFamily, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown error family %q (want normal, uniform or exponential)", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uncertgen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,136 @@
+// Command uncertserve serves uncertain-similarity queries over HTTP/JSON:
+// a mutable corpus of uncertain series behind /query (topk, range,
+// probtopk, probrange across all seven measures), /series (ingest and
+// delete) and /stats (corpus and per-measure engine accounting).
+//
+// Usage:
+//
+//	uncertserve -addr :8080 -dataset CBF -series 64 -length 96 -sigma 0.6 -samples 5
+//
+// Query a resident series by its stable ID, or ship an ad-hoc series:
+//
+//	curl -s localhost:8080/query -d '{"measure":"uema","type":"topk","k":5,"id":3}'
+//	curl -s localhost:8080/query -d '{"measure":"proud","type":"probrange","eps":4.5,"tau":0.1,"series":{"values":[...],"sigma":0.6}}'
+//
+// Ingest and delete while queries run; in-flight queries keep the corpus
+// snapshot they started on:
+//
+//	curl -s localhost:8080/series -d '{"insert":[{"values":[...],"sigma":0.6}]}'
+//	curl -s localhost:8080/series -d '{"delete":[64]}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"uncertts/internal/corpus"
+	"uncertts/internal/munich"
+	"uncertts/internal/server"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+type config struct {
+	addr       string
+	dataset    string
+	series     int
+	length     int
+	seed       int64
+	sigma      float64
+	samples    int
+	defWorkers int
+	maxWorkers int
+	mcSamples  int
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("uncertserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset preloaded into the corpus (empty = start empty)")
+	fs.IntVar(&cfg.series, "series", 64, "number of series to preload")
+	fs.IntVar(&cfg.length, "length", 96, "series length")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generation and perturbation seed")
+	fs.Float64Var(&cfg.sigma, "sigma", 0.6, "error standard deviation (normal error)")
+	fs.IntVar(&cfg.samples, "samples", 5, "repeated observations per timestamp (0 disables the MUNICH measure)")
+	fs.IntVar(&cfg.defWorkers, "workers", 1, "default per-request worker budget")
+	fs.IntVar(&cfg.maxWorkers, "max-workers", 0, "per-request worker budget cap (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.mcSamples, "munich-bins", 0, "MUNICH convolution estimator bins (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.length < 1 {
+		return cfg, fmt.Errorf("-length = %d must be at least 1", cfg.length)
+	}
+	if cfg.sigma <= 0 {
+		return cfg, fmt.Errorf("-sigma = %v must be positive", cfg.sigma)
+	}
+	if cfg.samples < 0 {
+		return cfg, fmt.Errorf("-samples = %d must be non-negative", cfg.samples)
+	}
+	if cfg.dataset != "" && cfg.series < 1 {
+		return cfg, fmt.Errorf("-series = %d must be at least 1", cfg.series)
+	}
+	return cfg, nil
+}
+
+// buildServer assembles the corpus (optionally preloaded with a perturbed
+// synthetic dataset) and the server around it.
+func buildServer(cfg config) (*server.Server, error) {
+	c := corpus.New(corpus.Config{Length: cfg.length, ReportedSigma: cfg.sigma})
+	if cfg.dataset != "" {
+		ds, err := ucr.Generate(cfg.dataset, ucr.Options{MaxSeries: cfg.series, Length: cfg.length, Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		pert, err := uncertain.NewConstantPerturber(uncertain.Normal, cfg.sigma, cfg.length, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		batch := make([]corpus.Series, len(ds.Series))
+		for i, s := range ds.Series {
+			ps := pert.PerturbPDF(s)
+			batch[i] = corpus.Series{Values: ps.Observations, Errors: ps.Errors, Label: s.Label}
+			if cfg.samples > 0 {
+				ss, err := pert.PerturbSamples(s, cfg.samples)
+				if err != nil {
+					return nil, err
+				}
+				batch[i].Samples = ss.Samples
+			}
+		}
+		if _, err := c.InsertBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	return server.New(c, server.Options{
+		DefaultWorkers: cfg.defWorkers,
+		MaxWorkers:     cfg.maxWorkers,
+		MUNICH:         munich.Options{Bins: cfg.mcSamples},
+	}), nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uncertserve:", err)
+		os.Exit(2)
+	}
+	srv, err := buildServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uncertserve:", err)
+		os.Exit(1)
+	}
+	snap := srv.Corpus().Snapshot()
+	log.Printf("uncertserve: %d series x %d points resident, listening on %s", snap.Len(), snap.SeriesLen(), cfg.addr)
+	if err := http.ListenAndServe(cfg.addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "uncertserve:", err)
+		os.Exit(1)
+	}
+}

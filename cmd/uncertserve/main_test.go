@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad length":  {"-length", "0"},
+		"bad sigma":   {"-sigma", "-1"},
+		"bad samples": {"-samples", "-2"},
+		"bad series":  {"-series", "0"},
+		"unknown":     {"-nope"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("%s (%v): expected an error", name, args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-series", "8", "-length", "32", "-samples", "0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.series != 8 || cfg.length != 32 || cfg.samples != 0 {
+		t.Errorf("parsed config %+v", cfg)
+	}
+}
+
+// TestEndToEnd builds the server on a tiny dataset and runs one query of
+// each family through the HTTP handler.
+func TestEndToEnd(t *testing.T) {
+	cfg, err := parseFlags([]string{"-series", "12", "-length", "24", "-sigma", "0.5", "-samples", "3", "-munich-bins", "256"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Corpus().Len() != 12 {
+		t.Fatalf("preloaded %d series, want 12", srv.Corpus().Len())
+	}
+	h := srv.Handler()
+	for _, body := range []string{
+		`{"measure":"euclidean","type":"topk","k":3,"id":0}`,
+		`{"measure":"dtw","type":"topk","k":3,"id":1,"workers":2}`,
+		`{"measure":"proud","type":"probrange","eps":3,"tau":0.1,"id":2}`,
+		`{"measure":"munich","type":"probtopk","eps":3,"k":3,"id":3}`,
+	} {
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("query %s: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		var resp map[string]interface{}
+		if err := json.NewDecoder(bytes.NewReader(rec.Body.Bytes())).Decode(&resp); err != nil {
+			t.Fatalf("query %s: bad JSON: %v", body, err)
+		}
+	}
+	// An empty-dataset server starts with an empty corpus.
+	empty, err := buildServer(config{dataset: "", length: 24, sigma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Corpus().Len() != 0 {
+		t.Error("empty server should start with no series")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"uncertts/internal/corpus"
 	"uncertts/internal/distance"
 	"uncertts/internal/query"
 	"uncertts/internal/stats"
@@ -50,6 +51,15 @@ type WorkloadConfig struct {
 
 // Workload bundles an exact dataset, its perturbed views, the reported
 // uncertainty metadata, and the pre-computed ground truth.
+//
+// Since the corpus refactor a workload is a thin view: the perturbed data
+// and every derived artifact live in an internal/corpus Corpus, and the
+// public PDF/Samples/Sigmas fields alias one immutable snapshot of it
+// (Snapshot()). The workload adds what only the evaluation methodology
+// needs — the exact series, the ground-truth sets and the calibrated
+// thresholds. Matchers and experiments keep reading the public fields
+// exactly as before; engine construction goes through the snapshot and
+// reuses the corpus' precomputed artifacts.
 type Workload struct {
 	// Exact holds the unperturbed ground-truth series.
 	Exact []timeseries.Series
@@ -69,6 +79,9 @@ type Workload struct {
 	truth   [][]int   // per-query ground-truth ID sets
 	calNN   []int     // per-query calibration neighbour (the K-th NN)
 	epsEucl []float64 // per-query Euclidean threshold
+
+	corpus *corpus.Corpus
+	snap   *corpus.Snapshot
 }
 
 // NewWorkload perturbs the dataset and precomputes ground truth. The
@@ -116,22 +129,33 @@ func NewWorkload(exact timeseries.Dataset, p *uncertain.Perturber, cfg WorkloadC
 	}
 
 	// Perturb: observations from the true distributions, reported metadata
-	// attached.
-	w.PDF = make([]uncertain.PDFSeries, len(exact.Series))
+	// attached. The perturbed views are owned by a corpus; the workload's
+	// PDF/Samples fields alias one snapshot of it.
+	w.corpus = corpus.New(corpus.Config{
+		Length:        n,
+		ReportedSigma: w.ReportedSigma,
+		Sigmas:        w.Sigmas,
+		Errors:        reported[:n],
+	})
+	batch := make([]corpus.Series, len(exact.Series))
 	for i, s := range exact.Series {
 		ps := p.PerturbPDF(s)
-		ps.Errors = reported[:n]
-		w.PDF[i] = ps
-	}
-	if cfg.SamplesPerTS > 0 {
-		w.Samples = make([]uncertain.SampleSeries, len(exact.Series))
-		for i, s := range exact.Series {
+		batch[i] = corpus.Series{Values: ps.Observations, Errors: reported[:n], Label: s.Label}
+		if cfg.SamplesPerTS > 0 {
 			ss, err := p.PerturbSamples(s, cfg.SamplesPerTS)
 			if err != nil {
 				return nil, err
 			}
-			w.Samples[i] = ss
+			batch[i].Samples = ss.Samples
 		}
+	}
+	if _, err := w.corpus.InsertBatch(batch); err != nil {
+		return nil, fmt.Errorf("core: populating corpus: %w", err)
+	}
+	w.snap = w.corpus.Snapshot()
+	w.PDF = w.snap.PDFSeries()
+	if cfg.SamplesPerTS > 0 {
+		w.Samples = w.snap.SampleSeries()
 	}
 
 	// Ground truth per query. The truth set lives in the exact space: the
@@ -177,6 +201,17 @@ func NewWorkload(exact timeseries.Dataset, p *uncertain.Perturber, cfg WorkloadC
 
 // Len returns the number of series.
 func (w *Workload) Len() int { return len(w.Exact) }
+
+// Corpus returns the mutable corpus backing the workload's perturbed
+// views. Mutating it does not change the workload — the workload is a view
+// of the snapshot taken at construction — but it lets a caller seed a
+// serving corpus with an evaluated workload's data.
+func (w *Workload) Corpus() *corpus.Corpus { return w.corpus }
+
+// Snapshot returns the immutable corpus snapshot the workload's
+// PDF/Samples/Sigmas fields alias. Engines built from it reuse the corpus'
+// precomputed per-series artifacts.
+func (w *Workload) Snapshot() *corpus.Snapshot { return w.snap }
 
 // SeriesLen returns the common series length.
 func (w *Workload) SeriesLen() int { return w.Exact[0].Len() }

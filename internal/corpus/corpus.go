@@ -1,0 +1,357 @@
+// Package corpus is the mutable data layer of the system: a long-lived
+// collection of uncertain time series that can be grown (Insert) and
+// shrunk (Delete) while queries run, decoupling data ownership from the
+// batch-oriented evaluation Workload.
+//
+// Two ideas carry the package:
+//
+//   - Incremental index maintenance. Every similarity measure the engine
+//     serves leans on per-series derived artifacts — LB_Keogh envelopes for
+//     banded DTW, UMA/UEMA filtered vectors, PROUD suffix energies, MUNICH
+//     segment envelopes, DUST phi lookup tables. All of them are functions
+//     of one series at a time (the phi tables of the shared evaluator are
+//     keyed by error distribution and built lazily), so an insert computes
+//     exactly the new series' artifacts and a delete drops exactly the
+//     removed ones. Nothing is ever rebuilt collection-wide.
+//
+//   - Snapshot isolation. The corpus publishes its state as an immutable
+//     Snapshot under an atomic pointer (copy-on-write: writers copy the
+//     entry slice, never an entry). Readers grab the pointer once and see a
+//     frozen, consistent collection for as long as they hold it — queries
+//     racing with writers are never blocked and never observe a partial
+//     mutation. Each snapshot carries a monotonically increasing epoch so
+//     callers can cheaply detect staleness (the HTTP server keys its
+//     per-measure engine cache on it).
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"uncertts/internal/distance"
+	"uncertts/internal/dust"
+	"uncertts/internal/munich"
+	"uncertts/internal/proud"
+	"uncertts/internal/stats"
+	"uncertts/internal/timeseries"
+	"uncertts/internal/uncertain"
+)
+
+// Config fixes the artifact geometry of a corpus. Every derived artifact is
+// parameterised (envelope band, filter window, segment count, ...); pinning
+// the parameters at corpus construction is what lets inserts maintain the
+// artifacts incrementally and lets engines reuse them without recomputing.
+type Config struct {
+	// Length is the common series length. Zero adopts the length of the
+	// first inserted series.
+	Length int
+	// ReportedSigma is the constant error stddev handed to PROUD and used
+	// as the default error model for series inserted without Errors. Zero
+	// derives the root-mean-variance of the first inserted series' errors.
+	ReportedSigma float64
+	// Sigmas optionally fixes the per-timestamp error stddevs used to
+	// filter series inserted without their own Errors (UMA/UEMA). Nil
+	// falls back to a constant ReportedSigma per timestamp.
+	Sigmas []float64
+	// Errors optionally fixes the default per-timestamp error
+	// distributions attached to series inserted without Errors. Nil falls
+	// back to Normal(0, ReportedSigma).
+	Errors []stats.Dist
+	// Band is the Sakoe-Chiba half-width the LB_Keogh envelopes are built
+	// for. Zero derives max(1, Length/10); negative means unconstrained.
+	Band int
+	// Segments is the MUNICH envelope segment count (0 = 16, clamped to
+	// the series length).
+	Segments int
+	// W is the UMA/UEMA filter window half-width (0 = the paper's 2).
+	W int
+	// Lambda is the UEMA decay (0 = the paper's 1).
+	Lambda float64
+	// Mode selects the Eq. 17/18 weight normalisation for UMA/UEMA.
+	Mode timeseries.WeightMode
+	// DUST configures the shared phi-table evaluator.
+	DUST dust.Options
+}
+
+// withDefaults resolves the zero values that do not need the series length.
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = 2
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Segments <= 0 {
+		c.Segments = 16
+	}
+	return c
+}
+
+// resolveLength resolves the length-dependent defaults once the series
+// length is known.
+func (c Config) resolveLength(n int) Config {
+	c.Length = n
+	if c.Band == 0 {
+		c.Band = n / 10
+		if c.Band < 1 {
+			c.Band = 1
+		}
+	}
+	c.Segments = munich.ClampSegments(n, c.Segments)
+	return c
+}
+
+// Series is the unit of ingestion: an observation vector plus optional
+// uncertainty metadata.
+type Series struct {
+	// Values holds the observed value per timestamp.
+	Values []float64
+	// Errors optionally attaches per-timestamp reported error
+	// distributions. Nil uses the corpus defaults.
+	Errors []stats.Dist
+	// Samples optionally attaches the repeated-observation model
+	// (Samples[i][j] is the j-th observation at timestamp i); required for
+	// the series to be servable by MUNICH.
+	Samples [][]float64
+	// Label carries an optional class label.
+	Label int
+}
+
+// Entry is one resident series with every derived artifact the query
+// engines consume. Entries are immutable after insertion: a snapshot shares
+// them freely across epochs, and readers may hold them indefinitely.
+type Entry struct {
+	// ID is the stable corpus handle (unique for the corpus lifetime,
+	// never reused).
+	ID int
+	// PDF is the observation-plus-error-model view (PROUD/DUST input);
+	// PDF.ID equals ID.
+	PDF uncertain.PDFSeries
+	// Samples is the repeated-observation view (MUNICH input), nil when
+	// the series was inserted without samples.
+	Samples *uncertain.SampleSeries
+	// Sigmas caches the per-timestamp error stddevs of PDF.Errors.
+	Sigmas []float64
+	// UMA and UEMA are the filtered vectors of the corpus' filter config.
+	UMA, UEMA []float64
+	// Upper and Lower are the LB_Keogh envelopes for the corpus band.
+	Upper, Lower []float64
+	// Suffix holds PROUD's suffix energies of the observations.
+	Suffix []float64
+	// Env is the MUNICH segment envelope (zero value when Samples is nil).
+	Env munich.Envelope
+}
+
+// Corpus is the mutable collection. All methods are safe for concurrent
+// use; writers serialise on an internal mutex while readers only touch the
+// atomic snapshot pointer.
+type Corpus struct {
+	mu     sync.Mutex
+	cur    atomic.Pointer[Snapshot]
+	nextID int
+	d      *dust.Dust
+}
+
+// New returns an empty corpus with the given artifact geometry.
+func New(cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	c := &Corpus{d: dust.New(cfg.DUST)}
+	snap := &Snapshot{cfg: cfg, epoch: 0, pos: map[int]int{}, d: c.d}
+	if cfg.Length > 0 {
+		snap.finishGeometry()
+	}
+	c.cur.Store(snap)
+	return c
+}
+
+// Snapshot returns the current immutable snapshot. It never blocks, not
+// even while a writer is publishing.
+func (c *Corpus) Snapshot() *Snapshot { return c.cur.Load() }
+
+// Len returns the current number of resident series.
+func (c *Corpus) Len() int { return c.Snapshot().Len() }
+
+// Insert adds one series and publishes a new snapshot. It returns the
+// stable ID assigned to the series.
+func (c *Corpus) Insert(s Series) (int, error) {
+	ids, err := c.InsertBatch([]Series{s})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// InsertBatch adds several series atomically — readers observe either none
+// or all of them — and returns their IDs in input order.
+func (c *Corpus) InsertBatch(batch []Series) ([]int, error) {
+	return c.Apply(batch, nil)
+}
+
+// Delete removes the series with the given IDs and publishes a new
+// snapshot. Unknown IDs are an error; nothing is removed unless every ID
+// resolves.
+func (c *Corpus) Delete(ids ...int) error {
+	_, err := c.Apply(nil, ids)
+	return err
+}
+
+// Apply performs one atomic mutation combining insertions and deletions:
+// either the whole batch lands in a single published snapshot, or nothing
+// changes. It returns the IDs of the inserted series in input order.
+// Deleting an unknown ID (including an ID only just inserted by the same
+// call) is an error that aborts the entire mutation.
+func (c *Corpus) Apply(insert []Series, deleteIDs []int) ([]int, error) {
+	if len(insert) == 0 && len(deleteIDs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.cur.Load()
+	cfg := old.cfg
+
+	drop := make(map[int]bool, len(deleteIDs))
+	for _, id := range deleteIDs {
+		if _, ok := old.pos[id]; !ok {
+			return nil, fmt.Errorf("corpus: no series with ID %d", id)
+		}
+		drop[id] = true
+	}
+
+	if len(insert) > 0 {
+		if cfg.Length == 0 {
+			if len(insert[0].Values) == 0 {
+				return nil, errors.New("corpus: cannot insert an empty series")
+			}
+			cfg = cfg.resolveLength(len(insert[0].Values))
+		}
+		if cfg.ReportedSigma <= 0 {
+			cfg.ReportedSigma = deriveSigma(insert[0], cfg)
+		}
+	}
+
+	entries := make([]*Entry, 0, len(old.entries)+len(insert)-len(drop))
+	for _, e := range old.entries {
+		if !drop[e.ID] {
+			entries = append(entries, e)
+		}
+	}
+	var ids []int
+	for i, s := range insert {
+		e, err := buildEntry(c.nextID+i, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, e.ID)
+		entries = append(entries, e)
+	}
+	c.nextID += len(insert)
+	c.publish(cfg, old, entries)
+	return ids, nil
+}
+
+// publish installs a new snapshot over the given entries. Callers hold
+// c.mu.
+func (c *Corpus) publish(cfg Config, old *Snapshot, entries []*Entry) {
+	snap := &Snapshot{
+		cfg:     cfg,
+		epoch:   old.epoch + 1,
+		entries: entries,
+		pos:     make(map[int]int, len(entries)),
+		d:       c.d,
+	}
+	for i, e := range entries {
+		snap.pos[e.ID] = i
+	}
+	snap.finishGeometry()
+	c.cur.Store(snap)
+}
+
+// deriveSigma mirrors the Workload derivation: the root mean variance of
+// the reported error distributions, falling back to 1 when the first series
+// carries no error model at all.
+func deriveSigma(s Series, cfg Config) float64 {
+	errs := s.Errors
+	if errs == nil {
+		errs = cfg.Errors
+	}
+	if len(errs) == 0 {
+		return 1
+	}
+	var acc float64
+	for _, d := range errs {
+		acc += d.Variance()
+	}
+	return math.Sqrt(acc / float64(len(errs)))
+}
+
+// buildEntry computes every derived artifact for one inserted series — the
+// whole cost of an insert, independent of the corpus size.
+func buildEntry(id int, s Series, cfg Config) (*Entry, error) {
+	n := cfg.Length
+	if len(s.Values) != n {
+		return nil, fmt.Errorf("corpus: series has length %d, want %d (corpora require aligned series)", len(s.Values), n)
+	}
+	obs := make([]float64, n)
+	copy(obs, s.Values)
+
+	errs := s.Errors
+	if errs == nil {
+		if cfg.Errors != nil {
+			errs = cfg.Errors
+		} else {
+			d := stats.NewNormal(0, cfg.ReportedSigma)
+			errs = make([]stats.Dist, n)
+			for i := range errs {
+				errs[i] = d
+			}
+		}
+	}
+	if len(errs) < n {
+		return nil, fmt.Errorf("corpus: %d error distributions for a length-%d series", len(errs), n)
+	}
+	errs = errs[:n]
+	for i, d := range errs {
+		if d == nil {
+			return nil, fmt.Errorf("corpus: nil error distribution at timestamp %d", i)
+		}
+	}
+
+	e := &Entry{
+		ID:  id,
+		PDF: uncertain.PDFSeries{Observations: obs, Errors: errs, Label: s.Label, ID: id},
+	}
+	sigmas := cfg.Sigmas
+	if s.Errors != nil || sigmas == nil {
+		sigmas = make([]float64, n)
+		for i := range sigmas {
+			sigmas[i] = math.Sqrt(errs[i].Variance())
+		}
+	}
+	e.Sigmas = sigmas
+
+	var err error
+	if e.UMA, err = timeseries.UncertainMovingAverage(obs, sigmas, cfg.W, cfg.Mode); err != nil {
+		return nil, fmt.Errorf("corpus: UMA filter: %w", err)
+	}
+	if e.UEMA, err = timeseries.UncertainExponentialMovingAverage(obs, sigmas, cfg.W, cfg.Lambda, cfg.Mode); err != nil {
+		return nil, fmt.Errorf("corpus: UEMA filter: %w", err)
+	}
+	e.Upper, e.Lower = distance.Envelope(obs, cfg.Band)
+	e.Suffix = proud.SuffixEnergy(obs)
+
+	if s.Samples != nil {
+		if len(s.Samples) != n {
+			return nil, fmt.Errorf("corpus: sample model has %d timestamps, want %d", len(s.Samples), n)
+		}
+		ss := uncertain.SampleSeries{Samples: s.Samples, Label: s.Label, ID: id}
+		if err := ss.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		e.Samples = &ss
+		e.Env = munich.BuildEnvelope(ss, cfg.Segments)
+	}
+	return e, nil
+}

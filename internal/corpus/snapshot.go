@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"uncertts/internal/dust"
+	"uncertts/internal/munich"
+	"uncertts/internal/stats"
+	"uncertts/internal/uncertain"
+)
+
+// Snapshot is one immutable version of the corpus. Everything reachable
+// from a snapshot — the entry slice, every entry, every artifact — is
+// frozen at publication; readers may keep using a snapshot for as long as
+// they like while the corpus moves on.
+type Snapshot struct {
+	cfg     Config
+	epoch   uint64
+	entries []*Entry
+	pos     map[int]int // ID -> position
+	d       *dust.Dust
+	spans   [][2]int // MUNICH segment geometry for cfg.Segments
+}
+
+// finishGeometry resolves the derived geometry once cfg.Length is known.
+func (s *Snapshot) finishGeometry() {
+	s.cfg = s.cfg.resolveLength(s.cfg.Length)
+	s.spans = segmentSpansFor(s.cfg)
+}
+
+func segmentSpansFor(cfg Config) [][2]int {
+	if cfg.Length == 0 {
+		return nil
+	}
+	return munich.SegmentSpans(cfg.Length, cfg.Segments)
+}
+
+// Epoch returns the snapshot's version number; it increases by one with
+// every published mutation.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Config returns the resolved artifact geometry.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// Len returns the number of resident series.
+func (s *Snapshot) Len() int { return len(s.entries) }
+
+// SeriesLen returns the common series length (0 while the corpus is empty
+// and no length was configured).
+func (s *Snapshot) SeriesLen() int { return s.cfg.Length }
+
+// ReportedSigma returns the constant error stddev PROUD receives.
+func (s *Snapshot) ReportedSigma() float64 { return s.cfg.ReportedSigma }
+
+// Entry returns the entry at position i (0 <= i < Len()).
+func (s *Snapshot) Entry(i int) *Entry { return s.entries[i] }
+
+// IDAt returns the stable series ID at position i.
+func (s *Snapshot) IDAt(i int) int { return s.entries[i].ID }
+
+// PosOf resolves a stable series ID to its position in this snapshot.
+func (s *Snapshot) PosOf(id int) (int, bool) {
+	i, ok := s.pos[id]
+	return i, ok
+}
+
+// IDs returns the resident series IDs in position order.
+func (s *Snapshot) IDs() []int {
+	out := make([]int, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Dust returns the shared DUST evaluator. Phi tables are keyed by error
+// distribution and built lazily, so the tables accumulated for resident
+// series keep serving every later snapshot (and any ad-hoc query reusing
+// the same error models) for free.
+func (s *Snapshot) Dust() *dust.Dust { return s.d }
+
+// Spans returns the MUNICH segment geometry every entry envelope was built
+// with.
+func (s *Snapshot) Spans() [][2]int { return s.spans }
+
+// DefaultErrors returns the per-timestamp error distributions attached to
+// series inserted without their own — the model ad-hoc queries adopt when
+// they carry no error information.
+func (s *Snapshot) DefaultErrors() []stats.Dist {
+	// A configured default that is too short for the series length is
+	// useless; fall back to the constant-sigma model rather than slicing
+	// out of bounds.
+	if len(s.cfg.Errors) >= s.cfg.Length {
+		return s.cfg.Errors[:s.cfg.Length]
+	}
+	d := stats.NewNormal(0, s.cfg.ReportedSigma)
+	out := make([]stats.Dist, s.cfg.Length)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// HasSamples reports whether every resident series carries the
+// repeated-observation model (the precondition for serving MUNICH).
+func (s *Snapshot) HasSamples() bool {
+	for _, e := range s.entries {
+		if e.Samples == nil {
+			return false
+		}
+	}
+	return len(s.entries) > 0
+}
+
+// PDFSeries returns the PDF-model views in position order (sharing the
+// snapshot's immutable storage).
+func (s *Snapshot) PDFSeries() []uncertain.PDFSeries {
+	out := make([]uncertain.PDFSeries, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.PDF
+	}
+	return out
+}
+
+// SampleSeries returns the sample-model views in position order, or nil if
+// any resident series lacks samples.
+func (s *Snapshot) SampleSeries() []uncertain.SampleSeries {
+	if !s.HasSamples() {
+		return nil
+	}
+	out := make([]uncertain.SampleSeries, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = *e.Samples
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"uncertts/internal/corpus"
+	"uncertts/internal/munich"
+	"uncertts/internal/stats"
+)
+
+// testCorpus builds a corpus of deterministic series, each with a sample
+// model so every measure can run.
+func testCorpus(t testing.TB, series, length int) *corpus.Corpus {
+	t.Helper()
+	c := corpus.New(corpus.Config{ReportedSigma: 0.3, Segments: 4})
+	batch := make([]corpus.Series, series)
+	for s := range batch {
+		batch[s] = corpusSeries(length, int64(s))
+	}
+	if _, err := c.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// corpusSeries derives one deterministic series (values + samples) from a
+// seed.
+func corpusSeries(length int, seed int64) corpus.Series {
+	rng := stats.NewRand(seed + 1000)
+	s := corpus.Series{Values: make([]float64, length), Samples: make([][]float64, length)}
+	for i := range s.Values {
+		s.Values[i] = math.Sin(float64(seed)*0.7+float64(i)*0.31) + 0.2*rng.NormFloat64()
+		row := make([]float64, 3)
+		for j := range row {
+			row[j] = s.Values[i] + 0.15*rng.NormFloat64()
+		}
+		s.Samples[i] = row
+	}
+	return s
+}
+
+// allMeasureOptions enumerates one engine configuration per measure, with
+// the cheap estimator settings the MUNICH tests use.
+func allMeasureOptions() []Options {
+	return []Options{
+		{Measure: MeasureEuclidean, ShardSize: 5},
+		{Measure: MeasureUMA, ShardSize: 5},
+		{Measure: MeasureUEMA, ShardSize: 5},
+		{Measure: MeasureDTW, Band: 3, ShardSize: 5},
+		{Measure: MeasureDUST, ShardSize: 5},
+		{Measure: MeasurePROUD, ShardSize: 5},
+		{Measure: MeasureMUNICH, ShardSize: 5, MUNICH: munich.Options{Bins: 256}},
+	}
+}
+
+// adhocQueryFor derives an ad-hoc query (not resident in the corpus) of
+// the given length.
+func adhocQueryFor(length int) Query {
+	s := corpusSeries(length, 999)
+	return Query{Values: s.Values, Samples: s.Samples}
+}
+
+// runPrepared executes the measure-appropriate query through a prepared
+// query and returns a comparable result value.
+func runPrepared(t testing.TB, e *Engine, pq *PreparedQuery, eps float64) interface{} {
+	t.Helper()
+	if e.Measure().Probabilistic() {
+		rng, err := pq.ProbRange(eps, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := pq.ProbTopK(eps, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []interface{}{rng, top}
+	}
+	nn, err := pq.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := pq.Range(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []interface{}{nn, rng}
+}
+
+// TestAdHocQueriesMatchUnprunedScanEveryMeasure poses the same ad-hoc
+// query (a series not resident in the corpus) to the pruned engine and to
+// the NoPrune reference arm, across worker counts: answers must be
+// bit-identical for all seven measures.
+func TestAdHocQueriesMatchUnprunedScanEveryMeasure(t *testing.T) {
+	c := testCorpus(t, 24, 32)
+	snap := c.Snapshot()
+	q := adhocQueryFor(32)
+	const eps = 2.5
+	for _, opts := range allMeasureOptions() {
+		naiveOpts := opts
+		naiveOpts.NoPrune = true
+		naive, err := NewFromSnapshot(snap, naiveOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		npq, err := naive.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runPrepared(t, naive, npq, eps)
+		for _, workers := range []int{1, 2, 8} {
+			wopts := opts
+			wopts.Workers = workers
+			e, err := NewFromSnapshot(snap, wopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pq, err := e.Prepare(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runPrepared(t, e, pq, eps)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: ad-hoc answer differs from the unpruned scan", opts.Measure, workers)
+			}
+		}
+	}
+}
+
+// TestAdHocQueryOfResidentSeriesSeesItself: an ad-hoc query that happens
+// to equal a resident series must find that series at distance 0 (ad-hoc
+// queries exclude nothing), while the index query for the same position
+// excludes it.
+func TestAdHocQueryOfResidentSeriesSeesItself(t *testing.T) {
+	c := testCorpus(t, 12, 24)
+	snap := c.Snapshot()
+	e, err := NewFromSnapshot(snap, Options{Measure: MeasureEuclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := snap.Entry(3)
+	pq, err := e.Prepare(Query{Values: ent.PDF.Observations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := pq.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) == 0 || nn[0].ID != 3 || nn[0].Distance != 0 {
+		t.Fatalf("ad-hoc self query: nn[0] = %+v, want position 3 at distance 0", nn[0])
+	}
+	ipq, err := e.PrepareIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inn, err := ipq.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range inn {
+		if n.ID == 3 {
+			t.Error("index query did not exclude itself")
+		}
+	}
+}
+
+// TestAdHocValidation exercises the ad-hoc preparation error paths.
+func TestAdHocValidation(t *testing.T) {
+	c := testCorpus(t, 8, 16)
+	snap := c.Snapshot()
+	e, err := NewFromSnapshot(snap, Options{Measure: MeasureEuclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Prepare(Query{Values: make([]float64, 9)}); err == nil {
+		t.Error("wrong-length query should error")
+	}
+	if _, err := e.Prepare(Query{Values: make([]float64, 16), Sigma: -1}); err == nil {
+		t.Error("negative sigma should error")
+	}
+	if _, err := e.Prepare(Query{Values: make([]float64, 16), Errors: make([]stats.Dist, 3)}); err == nil {
+		t.Error("wrong-length error model should error")
+	}
+	me, err := NewFromSnapshot(snap, Options{Measure: MeasureMUNICH, MUNICH: munich.Options{Bins: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := me.Prepare(Query{Values: make([]float64, 16)}); err == nil {
+		t.Error("MUNICH ad-hoc query without samples should error")
+	}
+	// Prepared queries are engine-bound.
+	pq, err := e.Prepare(Query{Values: make([]float64, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewFromSnapshot(snap, Options{Measure: MeasureEuclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.TopKPrepared([]*PreparedQuery{pq}, 3); err == nil {
+		t.Error("prepared query from another engine should be rejected")
+	}
+}
+
+// TestSnapshotIsolationUnderConcurrentMutation is the acceptance test of
+// the corpus refactor: queries running concurrently with Insert/Delete
+// return results bit-identical to the unpruned scan of the snapshot they
+// started on, for every measure and worker counts {1, 2, 8}.
+func TestSnapshotIsolationUnderConcurrentMutation(t *testing.T) {
+	c := testCorpus(t, 20, 24)
+	snap := c.Snapshot()
+	q := adhocQueryFor(24)
+	const eps = 2.0
+
+	// Reference answers, computed on the frozen snapshot before any
+	// mutation.
+	type ref struct {
+		opts Options
+		want interface{}
+	}
+	var refs []ref
+	for _, opts := range allMeasureOptions() {
+		naiveOpts := opts
+		naiveOpts.NoPrune = true
+		naive, err := NewFromSnapshot(snap, naiveOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq, err := naive.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref{opts: opts, want: runPrepared(t, naive, pq, eps)})
+	}
+
+	// Writers mutate the corpus while readers query the old snapshot.
+	var writers sync.WaitGroup
+	stopWriting := make(chan struct{})
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriting:
+				return
+			default:
+			}
+			id, err := c.Insert(corpusSeries(24, int64(2000+i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if err := c.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for _, r := range refs {
+		for _, workers := range []int{1, 2, 8} {
+			readers.Add(1)
+			go func(r ref, workers int) {
+				defer readers.Done()
+				opts := r.opts
+				opts.Workers = workers
+				e, err := NewFromSnapshot(snap, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pq, err := e.Prepare(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rep := 0; rep < 3; rep++ {
+					got := runPrepared(t, e, pq, eps)
+					if !reflect.DeepEqual(got, r.want) {
+						t.Errorf("%s workers=%d: snapshot query changed under concurrent mutation", r.opts.Measure, workers)
+						return
+					}
+				}
+			}(r, workers)
+		}
+	}
+	readers.Wait()
+	close(stopWriting)
+	writers.Wait()
+
+	if c.Snapshot().Epoch() == snap.Epoch() {
+		t.Fatal("writer never published a mutation; the test proved nothing")
+	}
+}
+
+// TestStatsInvariantEveryMeasure asserts the accounting identity
+// Candidates = Completed + AbandonedEarly + PrunedByEnvelope +
+// ResolvedByBounds + ResolvedEarly across all seven measures and both
+// query families.
+func TestStatsInvariantEveryMeasure(t *testing.T) {
+	c := testCorpus(t, 20, 24)
+	snap := c.Snapshot()
+	queries := []int{0, 5, 11, 19}
+	for _, opts := range allMeasureOptions() {
+		e, err := NewFromSnapshot(snap, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Measure().Probabilistic() {
+			if _, err := e.ProbRangeBatch(queries, 2.0, 0.1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ProbTopKBatch(queries, 2.0, 4); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := e.TopKBatch(queries, 5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Range(0, 2.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := e.Stats()
+		if s.Candidates == 0 {
+			t.Errorf("%s: no candidates examined", opts.Measure)
+		}
+		if sum := s.Completed + s.AbandonedEarly + s.PrunedByEnvelope + s.ResolvedByBounds + s.ResolvedEarly; sum != s.Candidates {
+			t.Errorf("%s: stats identity broken: sum %d != candidates %d (%+v)", opts.Measure, sum, s.Candidates, s)
+		}
+	}
+}
+
+func TestStatsMergeAndString(t *testing.T) {
+	a := Stats{Candidates: 10, Completed: 4, AbandonedEarly: 3, PrunedByEnvelope: 1, ResolvedByBounds: 1, ResolvedEarly: 1}
+	b := Stats{Candidates: 5, Completed: 5}
+	m := a.Merge(b)
+	want := Stats{Candidates: 15, Completed: 9, AbandonedEarly: 3, PrunedByEnvelope: 1, ResolvedByBounds: 1, ResolvedEarly: 1}
+	if m != want {
+		t.Fatalf("Merge = %+v, want %+v", m, want)
+	}
+	if m.Pruned() != 6 {
+		t.Errorf("Pruned() = %d, want 6", m.Pruned())
+	}
+	got := m.String()
+	wantStr := fmt.Sprintf("%d candidates, %d completed, %d abandoned early, %d envelope-pruned, %d resolved by bounds, %d resolved on a prefix (40.0%% of the scan skipped)",
+		m.Candidates, m.Completed, m.AbandonedEarly, m.PrunedByEnvelope, m.ResolvedByBounds, m.ResolvedEarly)
+	if got != wantStr {
+		t.Errorf("String() = %q, want %q", got, wantStr)
+	}
+	if (Stats{}).String() == "" {
+		t.Error("zero stats should still render")
+	}
+}
+
+// TestEngineReusesCorpusArtifacts verifies the incremental-maintenance
+// contract: an engine whose options match the corpus geometry aliases the
+// snapshot's precomputed artifacts instead of recomputing them.
+func TestEngineReusesCorpusArtifacts(t *testing.T) {
+	c := testCorpus(t, 6, 40)
+	snap := c.Snapshot()
+	cfg := snap.Config()
+
+	dtw, err := NewFromSnapshot(snap, Options{Measure: MeasureDTW, Band: cfg.Band})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dtw.upper[0][0] != &snap.Entry(0).Upper[0] {
+		t.Error("DTW engine did not alias the corpus envelopes")
+	}
+	uma, err := NewFromSnapshot(snap, Options{Measure: MeasureUMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &uma.vecs[0][0] != &snap.Entry(0).UMA[0] {
+		t.Error("UMA engine did not alias the corpus filtered vectors")
+	}
+	du, err := NewFromSnapshot(snap, Options{Measure: MeasureDUST})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du.dust != snap.Dust() {
+		t.Error("DUST engine did not share the corpus evaluator")
+	}
+	mu, err := NewFromSnapshot(snap, Options{Measure: MeasureMUNICH, Segments: cfg.Segments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &mu.envs[0].Lo[0] != &snap.Entry(0).Env.Lo[0] {
+		t.Error("MUNICH engine did not alias the corpus envelopes")
+	}
+	// Mismatched geometry falls back to local computation and still
+	// answers correctly.
+	dtw2, err := NewFromSnapshot(snap, Options{Measure: MeasureDTW, Band: cfg.Band + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dtw2.upper[0][0] == &snap.Entry(0).Upper[0] {
+		t.Error("band-mismatched DTW engine aliased the wrong envelopes")
+	}
+	if _, err := dtw2.TopK(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,6 @@
 // Package engine is the query-serving layer of the reproduction: a top-k /
-// range similarity engine that sits above the matchers of internal/core and
-// prunes aggressively before any work reaches the hot distance kernels.
+// range similarity engine that sits above a corpus snapshot and prunes
+// aggressively before any work reaches the hot distance kernels.
 //
 // Pruning devices, one family per measure:
 //
@@ -23,6 +23,26 @@
 //     (Stream.earlyDecision's machinery plus suffix-energy gap bounds)
 //     force the predicate outcome.
 //
+// Since the corpus refactor the engine is built over an immutable
+// corpus.Snapshot (NewFromSnapshot); building over a core.Workload (New)
+// is a thin wrapper over the workload's snapshot. The per-candidate
+// artifacts every device needs — LB_Keogh envelopes, filtered vectors,
+// suffix energies, MUNICH segment envelopes, DUST phi tables — are
+// maintained incrementally by the corpus and reused here whenever the
+// engine options match the corpus geometry, so constructing an engine for
+// a fresh snapshot is nearly free and writers never invalidate a running
+// query (snapshot isolation).
+//
+// Queries come in two shapes. Index queries (TopK, Range, ProbRange,
+// ProbTopK and their batch forms) take a position in the snapshot and
+// exclude the query series itself, exactly as the original batch harness
+// did. Ad-hoc queries (Prepare + PreparedQuery methods) take an arbitrary
+// series — observation vector, error model, sample model — that need not
+// be resident in any corpus; the prepared-query object owns all per-query
+// derived state (filtered vector, suffix energies, sample envelope) so
+// repeated queries amortise their setup, and carries an optional
+// per-request worker budget.
+//
 // Execution is batched and sharded: the candidate space of every query is
 // cut into shards and the (query, shard) pairs are drained by the chunked
 // work-stealing executor of internal/core (RunSharded). Workers cooperate
@@ -40,13 +60,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"uncertts/internal/core"
+	"uncertts/internal/corpus"
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
 	"uncertts/internal/munich"
-	"uncertts/internal/proud"
 	"uncertts/internal/query"
 	"uncertts/internal/timeseries"
 )
@@ -75,11 +96,16 @@ const (
 	// over the perturbed observations, pruned by sound prefix bounds.
 	MeasurePROUD
 	// MeasureMUNICH serves probabilistic threshold queries over the
-	// repeated-observation model (the workload must be built with
-	// SamplesPerTS > 0), pruned by envelope and bounding-interval bounds
-	// before any combination counting.
+	// repeated-observation model (every resident series must carry
+	// samples), pruned by envelope and bounding-interval bounds before any
+	// combination counting.
 	MeasureMUNICH
 )
+
+// Measures lists every measure the engine serves, in declaration order.
+func Measures() []Measure {
+	return []Measure{MeasureEuclidean, MeasureUMA, MeasureUEMA, MeasureDTW, MeasureDUST, MeasurePROUD, MeasureMUNICH}
+}
 
 // String names the measure.
 func (m Measure) String() string {
@@ -103,6 +129,23 @@ func (m Measure) String() string {
 	}
 }
 
+// Probabilistic reports whether the measure answers probabilistic threshold
+// queries (ProbRange/ProbTopK) rather than distance queries (TopK/Range).
+func (m Measure) Probabilistic() bool {
+	return m == MeasurePROUD || m == MeasureMUNICH
+}
+
+// ParseMeasure resolves a case-insensitive measure name ("euclidean",
+// "uma", "uema", "dtw", "dust", "proud", "munich").
+func ParseMeasure(name string) (Measure, error) {
+	for _, m := range Measures() {
+		if strings.EqualFold(name, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown measure %q (want euclidean, uma, uema, dtw, dust, proud or munich)", name)
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Measure selects the similarity measure (default Euclidean).
@@ -117,7 +160,8 @@ type Options struct {
 	Lambda float64
 	// Mode selects the Eq. 17/18 weight normalisation for UMA/UEMA.
 	Mode timeseries.WeightMode
-	// Workers bounds the executor's parallelism (0 = GOMAXPROCS).
+	// Workers bounds the executor's parallelism (0 = GOMAXPROCS). A
+	// PreparedQuery can override it per request.
 	Workers int
 	// ShardSize is the number of candidates per work shard (0 = 64).
 	ShardSize int
@@ -161,19 +205,50 @@ type Stats struct {
 	ResolvedEarly int64
 }
 
-// Engine answers pruned top-k and range similarity queries over a prepared
-// workload. It is safe for concurrent use.
+// Merge returns the field-wise sum of two stats — the aggregation the
+// server uses to keep cumulative accounting across engine rebuilds.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Candidates:       s.Candidates + o.Candidates,
+		Completed:        s.Completed + o.Completed,
+		AbandonedEarly:   s.AbandonedEarly + o.AbandonedEarly,
+		PrunedByEnvelope: s.PrunedByEnvelope + o.PrunedByEnvelope,
+		ResolvedByBounds: s.ResolvedByBounds + o.ResolvedByBounds,
+		ResolvedEarly:    s.ResolvedEarly + o.ResolvedEarly,
+	}
+}
+
+// Pruned returns the number of candidates that never paid for a full
+// computation (the accounting identity's complement of Completed).
+func (s Stats) Pruned() int64 { return s.Candidates - s.Completed }
+
+// String renders the counters in the one-line form the CLI and the /stats
+// endpoint report.
+func (s Stats) String() string {
+	pct := 0.0
+	if s.Candidates > 0 {
+		pct = 100 * float64(s.Pruned()) / float64(s.Candidates)
+	}
+	return fmt.Sprintf("%d candidates, %d completed, %d abandoned early, %d envelope-pruned, %d resolved by bounds, %d resolved on a prefix (%.1f%% of the scan skipped)",
+		s.Candidates, s.Completed, s.AbandonedEarly, s.PrunedByEnvelope, s.ResolvedByBounds, s.ResolvedEarly, pct)
+}
+
+// Engine answers pruned top-k and range similarity queries over one corpus
+// snapshot. It is safe for concurrent use; all methods see the snapshot's
+// frozen state regardless of later corpus mutations.
 type Engine struct {
-	w    *core.Workload
+	snap *corpus.Snapshot
 	opts Options
 	band int
 
-	vecs         [][]float64   // scanned vectors (observations or filtered)
-	upper, lower [][]float64   // per-series LB_Keogh envelopes (DTW only)
-	dust         *dust.Dust    // shared evaluator (DUST only)
-	varD         float64       // per-timestamp D_i variance sum (PROUD only)
-	suffix       [][]float64   // per-series suffix energies (PROUD only)
-	mIndex       *munich.Index // segment-envelope filter index (MUNICH only)
+	vecs         [][]float64       // scanned vectors (observations or filtered)
+	upper, lower [][]float64       // per-series LB_Keogh envelopes (DTW only)
+	dust         *dust.Dust        // shared evaluator (DUST only)
+	varD         float64           // per-timestamp D_i variance sum (PROUD only)
+	suffix       [][]float64       // per-series suffix energies (PROUD only)
+	envs         []munich.Envelope // per-series segment envelopes (MUNICH only)
+	spans        [][2]int          // MUNICH segment geometry
+	segments     int               // resolved MUNICH segment count
 
 	candidates     atomic.Int64
 	completed      atomic.Int64
@@ -183,45 +258,67 @@ type Engine struct {
 	resolvedEarly  atomic.Int64
 }
 
-// New builds an engine over the workload, precomputing the per-measure
-// derived representation: filtered series for UMA/UEMA, envelopes for DTW,
-// the shared evaluator for DUST.
+// New builds an engine over a prepared workload — a thin wrapper around
+// NewFromSnapshot on the workload's corpus snapshot.
 func New(w *core.Workload, opts Options) (*Engine, error) {
 	if w == nil || w.Len() == 0 {
 		return nil, errors.New("engine: nil or empty workload")
 	}
+	return NewFromSnapshot(w.Snapshot(), opts)
+}
+
+// NewFromSnapshot builds an engine over a corpus snapshot, reusing the
+// snapshot's precomputed per-series artifacts whenever the engine options
+// match the corpus geometry (the common case: zero-value options adopt the
+// corpus defaults) and deriving them locally otherwise.
+func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
+	if snap == nil || snap.Len() == 0 {
+		return nil, errors.New("engine: nil or empty snapshot")
+	}
+	cfg := snap.Config()
 	if opts.W == 0 {
-		opts.W = 2
+		opts.W = cfg.W
 	}
 	if opts.Lambda == 0 {
-		opts.Lambda = 1
+		opts.Lambda = cfg.Lambda
 	}
 	if opts.ShardSize <= 0 {
 		opts.ShardSize = 64
 	}
-	e := &Engine{w: w, opts: opts}
-	n := w.SeriesLen()
+	e := &Engine{snap: snap, opts: opts}
+	n := snap.SeriesLen()
 
 	switch opts.Measure {
 	case MeasureEuclidean:
-		e.vecs = observations(w)
+		e.vecs = observations(snap)
 	case MeasureUMA, MeasureUEMA:
-		e.vecs = make([][]float64, w.Len())
-		for i, ps := range w.PDF {
+		reuse := opts.W == cfg.W && opts.Mode == cfg.Mode &&
+			(opts.Measure == MeasureUMA || opts.Lambda == cfg.Lambda)
+		e.vecs = make([][]float64, snap.Len())
+		for i := 0; i < snap.Len(); i++ {
+			ent := snap.Entry(i)
+			if reuse {
+				if opts.Measure == MeasureUMA {
+					e.vecs[i] = ent.UMA
+				} else {
+					e.vecs[i] = ent.UEMA
+				}
+				continue
+			}
 			var f []float64
 			var err error
 			if opts.Measure == MeasureUMA {
-				f, err = timeseries.UncertainMovingAverage(ps.Observations, w.Sigmas, opts.W, opts.Mode)
+				f, err = timeseries.UncertainMovingAverage(ent.PDF.Observations, ent.Sigmas, opts.W, opts.Mode)
 			} else {
-				f, err = timeseries.UncertainExponentialMovingAverage(ps.Observations, w.Sigmas, opts.W, opts.Lambda, opts.Mode)
+				f, err = timeseries.UncertainExponentialMovingAverage(ent.PDF.Observations, ent.Sigmas, opts.W, opts.Lambda, opts.Mode)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("engine: filtering series %d: %w", ps.ID, err)
+				return nil, fmt.Errorf("engine: filtering series %d: %w", ent.ID, err)
 			}
 			e.vecs[i] = f
 		}
 	case MeasureDTW:
-		e.vecs = observations(w)
+		e.vecs = observations(snap)
 		e.band = opts.Band
 		if e.band == 0 {
 			e.band = n / 10
@@ -229,52 +326,71 @@ func New(w *core.Workload, opts Options) (*Engine, error) {
 				e.band = 1
 			}
 		}
-		e.upper = make([][]float64, w.Len())
-		e.lower = make([][]float64, w.Len())
-		for i, v := range e.vecs {
-			e.upper[i], e.lower[i] = distance.Envelope(v, e.band)
+		e.upper = make([][]float64, snap.Len())
+		e.lower = make([][]float64, snap.Len())
+		for i := 0; i < snap.Len(); i++ {
+			if ent := snap.Entry(i); e.band == cfg.Band {
+				e.upper[i], e.lower[i] = ent.Upper, ent.Lower
+			} else {
+				e.upper[i], e.lower[i] = distance.Envelope(e.vecs[i], e.band)
+			}
 		}
 	case MeasureDUST:
-		e.dust = dust.New(opts.DUST)
+		if opts.DUST == cfg.DUST {
+			e.dust = snap.Dust()
+		} else {
+			e.dust = dust.New(opts.DUST)
+		}
 	case MeasurePROUD:
-		e.vecs = observations(w)
+		e.vecs = observations(snap)
 		// The same arithmetic the naive matcher feeds proud.Distance with
-		// (QuerySigma and CandSigma both the workload's reported sigma).
-		sigma := w.ReportedSigma
+		// (QuerySigma and CandSigma both the snapshot's reported sigma).
+		sigma := snap.ReportedSigma()
 		e.varD = sigma*sigma + sigma*sigma
-		e.suffix = make([][]float64, w.Len())
-		for i, v := range e.vecs {
-			e.suffix[i] = proud.SuffixEnergy(v)
+		e.suffix = make([][]float64, snap.Len())
+		for i := 0; i < snap.Len(); i++ {
+			e.suffix[i] = snap.Entry(i).Suffix
 		}
 	case MeasureMUNICH:
-		if w.Samples == nil {
-			return nil, errors.New("engine: MeasureMUNICH requires a workload with SamplesPerTS > 0")
+		if !snap.HasSamples() {
+			return nil, errors.New("engine: MeasureMUNICH requires every resident series to carry a sample model (SamplesPerTS > 0)")
 		}
-		segments := opts.Segments
-		if segments <= 0 {
-			segments = 16
+		e.segments = opts.Segments
+		if e.segments <= 0 {
+			e.segments = 16
 		}
-		idx, err := munich.NewIndex(w.Samples, segments)
-		if err != nil {
-			return nil, fmt.Errorf("engine: building MUNICH filter index: %w", err)
+		e.segments = munich.ClampSegments(n, e.segments)
+		e.envs = make([]munich.Envelope, snap.Len())
+		if e.segments == cfg.Segments {
+			e.spans = snap.Spans()
+			for i := 0; i < snap.Len(); i++ {
+				e.envs[i] = snap.Entry(i).Env
+			}
+		} else {
+			e.spans = munich.SegmentSpans(n, e.segments)
+			for i := 0; i < snap.Len(); i++ {
+				e.envs[i] = munich.BuildEnvelope(*snap.Entry(i).Samples, e.segments)
+			}
 		}
-		e.mIndex = idx
 	default:
 		return nil, fmt.Errorf("engine: unknown measure %v", opts.Measure)
 	}
 	return e, nil
 }
 
-func observations(w *core.Workload) [][]float64 {
-	out := make([][]float64, w.Len())
-	for i, ps := range w.PDF {
-		out[i] = ps.Observations
+func observations(snap *corpus.Snapshot) [][]float64 {
+	out := make([][]float64, snap.Len())
+	for i := range out {
+		out[i] = snap.Entry(i).PDF.Observations
 	}
 	return out
 }
 
 // Measure reports the measure the engine was built for.
 func (e *Engine) Measure() Measure { return e.opts.Measure }
+
+// Snapshot returns the corpus snapshot the engine serves.
+func (e *Engine) Snapshot() *corpus.Snapshot { return e.snap }
 
 // Stats returns a snapshot of the work counters.
 func (e *Engine) Stats() Stats {
@@ -298,20 +414,20 @@ func (e *Engine) ResetStats() {
 	e.resolvedEarly.Store(0)
 }
 
-// distPruned evaluates the measure's distance between query qi and
+// distPruned evaluates the measure's distance between a prepared query and
 // candidate ci under a cutoff in squared-distance space. It returns the
 // exact distance and true when the computation completed (which implies
 // dist^2 <= cutoff2); a false return means the candidate was excluded by a
 // lower bound or abandoned mid-scan and cannot have distance <= the
 // distance whose square the cutoff came from.
-func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) {
+func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64, bool, error) {
 	e.candidates.Add(1)
 	if e.opts.NoPrune {
 		cutoff2 = math.Inf(1)
 	}
 	switch e.opts.Measure {
 	case MeasureEuclidean, MeasureUMA, MeasureUEMA:
-		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(e.vecs[qi], e.vecs[ci], cutoff2)
+		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(pq.vec, e.vecs[ci], cutoff2)
 		if err != nil {
 			return 0, false, err
 		}
@@ -322,7 +438,7 @@ func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) 
 		e.completed.Add(1)
 		return math.Sqrt(d2), true, nil
 	case MeasureDTW:
-		lb, err := distance.LBKeoghSquared(e.vecs[qi], e.upper[ci], e.lower[ci], cutoff2)
+		lb, err := distance.LBKeoghSquared(pq.vec, e.upper[ci], e.lower[ci], cutoff2)
 		if err != nil {
 			return 0, false, err
 		}
@@ -330,7 +446,7 @@ func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) 
 			e.pruned.Add(1)
 			return 0, false, nil
 		}
-		d, complete, err := distance.DTWBandEarlyAbandon(e.vecs[qi], e.vecs[ci], e.band, cutoff2)
+		d, complete, err := distance.DTWBandEarlyAbandon(pq.vec, e.vecs[ci], e.band, cutoff2)
 		if err != nil {
 			return 0, false, err
 		}
@@ -341,7 +457,7 @@ func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) 
 		e.completed.Add(1)
 		return d, true, nil
 	case MeasureDUST:
-		d, complete, err := e.dust.DistanceEarlyAbandon(e.w.PDF[qi], e.w.PDF[ci], cutoff2)
+		d, complete, err := e.dust.DistanceEarlyAbandon(pq.pdf, e.snap.Entry(ci).PDF, cutoff2)
 		if err != nil {
 			return 0, false, err
 		}
@@ -359,23 +475,39 @@ func (e *Engine) distPruned(qi, ci int, cutoff2 float64) (float64, bool, error) 
 }
 
 // Distance returns the measure's exact distance between two series of the
-// workload (no pruning) — the reference the pruned paths must agree with.
+// snapshot (no pruning) — the reference the pruned paths must agree with.
 func (e *Engine) Distance(qi, ci int) (float64, error) {
-	if err := e.checkIndex(qi); err != nil {
-		return 0, err
-	}
 	if err := e.checkIndex(ci); err != nil {
 		return 0, err
 	}
-	d, _, err := e.distPruned(qi, ci, math.Inf(1))
+	pq, err := e.PrepareIndex(qi)
+	if err != nil {
+		return 0, err
+	}
+	d, _, err := e.distPruned(pq, ci, math.Inf(1))
 	return d, err
 }
 
 func (e *Engine) checkIndex(i int) error {
-	if i < 0 || i >= e.w.Len() {
-		return fmt.Errorf("engine: series index %d outside [0, %d)", i, e.w.Len())
+	if i < 0 || i >= e.snap.Len() {
+		return fmt.Errorf("engine: series index %d outside [0, %d)", i, e.snap.Len())
 	}
 	return nil
+}
+
+// workersFor resolves the worker budget for a batch of prepared queries:
+// the largest per-query override, falling back to the engine default.
+func (e *Engine) workersFor(pqs []*PreparedQuery) int {
+	workers := 0
+	for _, pq := range pqs {
+		if pq.Workers > workers {
+			workers = pq.Workers
+		}
+	}
+	if workers == 0 {
+		workers = e.opts.Workers
+	}
+	return workers
 }
 
 // sharedBound is a monotonically decreasing float64 shared across the
@@ -488,30 +620,38 @@ func (e *Engine) TopK(qi, k int) ([]query.Neighbor, error) {
 // identical to running TopK on each query alone — or to the naive scan —
 // for every worker count.
 func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
+	pqs, err := e.prepareIndexBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	return e.TopKPrepared(pqs, k)
+}
+
+// TopKPrepared answers the top-k query for every prepared query in one
+// batched, sharded, work-stealing pass.
+func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("engine: k = %d must be positive", k)
 	}
-	for _, qi := range queries {
-		if err := e.checkIndex(qi); err != nil {
-			return nil, err
-		}
+	if err := e.checkPrepared(pqs); err != nil {
+		return nil, err
 	}
-	n := e.w.Len()
+	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
 
-	bounds := make([]*sharedBound, len(queries))
+	bounds := make([]*sharedBound, len(pqs))
 	for i := range bounds {
 		bounds[i] = newSharedBound()
 	}
 	// One retained-candidate bucket per (query, shard) pair; written by
 	// exactly one worker each, merged after the barrier.
-	buckets := make([][]query.Neighbor, len(queries)*numShards)
+	buckets := make([][]query.Neighbor, len(pqs)*numShards)
 
-	err := core.RunSharded(len(queries)*numShards, 1, e.opts.Workers, func(lo, hi int) error {
+	err := core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
-			qi := queries[q]
+			pq := pqs[q]
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
 				cHi = n
@@ -519,7 +659,7 @@ func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 			local := newKHeap(k)
 			var kept []query.Neighbor
 			for ci := cLo; ci < cHi; ci++ {
-				if ci == qi {
+				if ci == pq.self {
 					continue
 				}
 				cut := bounds[q].get()
@@ -528,9 +668,9 @@ func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 						cut = t
 					}
 				}
-				d, ok, err := e.distPruned(qi, ci, cut)
+				d, ok, err := e.distPruned(pq, ci, cut)
 				if err != nil {
-					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
 				if !ok {
 					continue
@@ -549,8 +689,8 @@ func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 		return nil, err
 	}
 
-	out := make([][]query.Neighbor, len(queries))
-	for q := range queries {
+	out := make([][]query.Neighbor, len(pqs))
+	for q := range pqs {
 		var all []query.Neighbor
 		for shard := 0; shard < numShards; shard++ {
 			all = append(all, buckets[q*numShards+shard]...)
@@ -573,19 +713,28 @@ func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 // engine's measure, excluding qi, in ascending ID order — identical to
 // query.RangeQueryFunc over the exact distance.
 func (e *Engine) Range(qi int, eps float64) ([]int, error) {
-	if err := e.checkIndex(qi); err != nil {
+	pq, err := e.PrepareIndex(qi)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Range(eps)
+}
+
+// rangePrepared is the execution core of Range for one prepared query.
+func (e *Engine) rangePrepared(pq *PreparedQuery, eps float64) ([]int, error) {
+	if err := e.checkPrepared([]*PreparedQuery{pq}); err != nil {
 		return nil, err
 	}
 	if math.IsNaN(eps) || eps < 0 {
 		return nil, errors.New("engine: eps must be non-negative")
 	}
-	n := e.w.Len()
+	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
 	cutoff2 := ulpUp(eps * eps)
 
 	buckets := make([][]int, numShards)
-	err := core.RunSharded(numShards, 1, e.opts.Workers, func(lo, hi int) error {
+	err := core.RunSharded(numShards, 1, e.workersFor([]*PreparedQuery{pq}), func(lo, hi int) error {
 		for shard := lo; shard < hi; shard++ {
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
@@ -593,12 +742,12 @@ func (e *Engine) Range(qi int, eps float64) ([]int, error) {
 			}
 			var ids []int
 			for ci := cLo; ci < cHi; ci++ {
-				if ci == qi {
+				if ci == pq.self {
 					continue
 				}
-				d, ok, err := e.distPruned(qi, ci, cutoff2)
+				d, ok, err := e.distPruned(pq, ci, cutoff2)
 				if err != nil {
-					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+					return fmt.Errorf("engine: candidate %d: %w", ci, err)
 				}
 				if ok && d <= eps {
 					ids = append(ids, ci)

@@ -33,7 +33,7 @@ func testWorkload(t testing.TB, series, length int) *core.Workload {
 // exact Distance.
 func naiveTopK(t *testing.T, e *Engine, qi, k int) []query.Neighbor {
 	t.Helper()
-	nn, err := query.TopK(e.w.Len(), qi, func(ci int) (float64, error) {
+	nn, err := query.TopK(e.snap.Len(), qi, func(ci int) (float64, error) {
 		return e.Distance(qi, ci)
 	}, k)
 	if err != nil {

@@ -23,16 +23,16 @@ import (
 //
 // Pruning is measure-native and exact:
 //
-//   - MUNICH walks a bound hierarchy — segment-envelope lower bound (the
-//     filter step of munich.Index, hoisted into the engine's
-//     precomputation), the exact bounding-interval prune, then a
-//     per-timestamp sample-pair probability bound when the refine step is
-//     exact — and survivors pay for a refine that itself abandons early in
-//     the estimator's own arithmetic (munich.ProbabilityCutoff). Every
-//     shortcut either mirrors a prune the naive matcher also applies,
-//     fixes the probability at exactly 0 or 1, or is proven in the
-//     estimator's arithmetic, so answers are bit-identical to the naive
-//     scan for every estimator configuration.
+//   - MUNICH walks a bound hierarchy — segment-envelope lower bound (built
+//     from the per-series envelopes the corpus maintains), the exact
+//     bounding-interval prune, then a per-timestamp sample-pair
+//     probability bound when the refine step is exact — and survivors pay
+//     for a refine that itself abandons early in the estimator's own
+//     arithmetic (munich.ProbabilityCutoff). Every shortcut either mirrors
+//     a prune the naive matcher also applies, fixes the probability at
+//     exactly 0 or 1, or is proven in the estimator's arithmetic, so
+//     answers are bit-identical to the naive scan for every estimator
+//     configuration.
 //   - PROUD accumulates the distance moments timestamp by timestamp (in
 //     exactly proud.Distance's order) and stops as soon as the sound
 //     prefix bounds force the predicate outcome or push the candidate's
@@ -141,14 +141,12 @@ func (h *probHeap) push(p float64) {
 
 // checkProbQuery validates the common parameters of the probabilistic
 // queries.
-func (e *Engine) checkProbQuery(queries []int, eps float64) error {
+func (e *Engine) checkProbQuery(pqs []*PreparedQuery, eps float64) error {
 	if e.opts.Measure != MeasurePROUD && e.opts.Measure != MeasureMUNICH {
 		return fmt.Errorf("engine: measure %v does not define match probabilities (use MeasurePROUD or MeasureMUNICH)", e.opts.Measure)
 	}
-	for _, qi := range queries {
-		if err := e.checkIndex(qi); err != nil {
-			return err
-		}
+	if err := e.checkPrepared(pqs); err != nil {
+		return err
 	}
 	if math.IsNaN(eps) || eps < 0 {
 		return errors.New("engine: eps must be non-negative")
@@ -158,7 +156,8 @@ func (e *Engine) checkProbQuery(queries []int, eps float64) error {
 
 // checkTau validates the probability threshold against the measure's
 // domain (mirroring the naive matchers: PROUD needs tau in (0, 1), MUNICH
-// tau in (0, 1]) and returns PROUD's eps_limit.
+// tau in (0, 1]) and returns PROUD's eps_limit. tau is shared by a whole
+// batch, so the inverse-CDF work runs once per call, not per query.
 func (e *Engine) checkTau(tau float64) (float64, error) {
 	if e.opts.Measure == MeasurePROUD {
 		return proud.EpsLimit(tau)
@@ -186,40 +185,50 @@ func (e *Engine) ProbRange(qi int, eps, tau float64) ([]int, error) {
 // shared by the batch; results are per-query, in input order, identical
 // for every worker count.
 func (e *Engine) ProbRangeBatch(queries []int, eps, tau float64) ([][]int, error) {
-	if err := e.checkProbQuery(queries, eps); err != nil {
+	pqs, err := e.prepareIndexBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	return e.ProbRangePrepared(pqs, eps, tau)
+}
+
+// ProbRangePrepared answers the probabilistic range query for every
+// prepared query in one batched, sharded, work-stealing pass.
+func (e *Engine) ProbRangePrepared(pqs []*PreparedQuery, eps, tau float64) ([][]int, error) {
+	if err := e.checkProbQuery(pqs, eps); err != nil {
 		return nil, err
 	}
 	epsLimit, err := e.checkTau(tau)
 	if err != nil {
 		return nil, err
 	}
-	n := e.w.Len()
+	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
-	buckets := make([][]int, len(queries)*numShards)
+	buckets := make([][]int, len(pqs)*numShards)
 
-	err = core.RunSharded(len(queries)*numShards, 1, e.opts.Workers, func(lo, hi int) error {
+	err = core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
-			qi := queries[q]
+			pq := pqs[q]
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
 				cHi = n
 			}
 			var ids []int
 			for ci := cLo; ci < cHi; ci++ {
-				if ci == qi {
+				if ci == pq.self {
 					continue
 				}
 				var ok bool
 				var err error
 				if e.opts.Measure == MeasurePROUD {
-					ok = e.proudAccept(qi, ci, eps, epsLimit)
+					ok = e.proudAccept(pq, ci, eps, epsLimit)
 				} else {
-					ok, err = e.munichAccept(qi, ci, eps, tau)
+					ok, err = e.munichAccept(pq, ci, eps, tau)
 				}
 				if err != nil {
-					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
 				if ok {
 					ids = append(ids, ci)
@@ -232,8 +241,8 @@ func (e *Engine) ProbRangeBatch(queries []int, eps, tau float64) ([][]int, error
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]int, len(queries))
-	for q := range queries {
+	out := make([][]int, len(pqs))
+	for q := range pqs {
 		var all []int
 		for shard := 0; shard < numShards; shard++ {
 			all = append(all, buckets[q*numShards+shard]...)
@@ -262,26 +271,36 @@ func (e *Engine) ProbTopK(qi int, eps float64, k int) ([]ProbMatch, error) {
 // whose probability upper bound falls below it can never belong to the
 // answer. Results are identical for every worker count.
 func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch, error) {
+	pqs, err := e.prepareIndexBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	return e.ProbTopKPrepared(pqs, eps, k)
+}
+
+// ProbTopKPrepared answers the probability-ranked top-k query for every
+// prepared query in one batched, sharded pass.
+func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][]ProbMatch, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("engine: k = %d must be positive", k)
 	}
-	if err := e.checkProbQuery(queries, eps); err != nil {
+	if err := e.checkProbQuery(pqs, eps); err != nil {
 		return nil, err
 	}
-	n := e.w.Len()
+	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
 
-	bounds := make([]*sharedMaxBound, len(queries))
+	bounds := make([]*sharedMaxBound, len(pqs))
 	for i := range bounds {
 		bounds[i] = newSharedMaxBound()
 	}
-	buckets := make([][]ProbMatch, len(queries)*numShards)
+	buckets := make([][]ProbMatch, len(pqs)*numShards)
 
-	err := core.RunSharded(len(queries)*numShards, 1, e.opts.Workers, func(lo, hi int) error {
+	err := core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
-			qi := queries[q]
+			pq := pqs[q]
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
 				cHi = n
@@ -289,7 +308,7 @@ func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch
 			local := newProbHeap(k)
 			var kept []ProbMatch
 			for ci := cLo; ci < cHi; ci++ {
-				if ci == qi {
+				if ci == pq.self {
 					continue
 				}
 				cut := bounds[q].get()
@@ -300,12 +319,12 @@ func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch
 				var ok bool
 				var err error
 				if e.opts.Measure == MeasurePROUD {
-					p, ok = e.proudProb(qi, ci, eps, cut)
+					p, ok = e.proudProb(pq, ci, eps, cut)
 				} else {
-					p, ok, err = e.munichProb(qi, ci, eps, cut)
+					p, ok, err = e.munichProb(pq, ci, eps, cut)
 				}
 				if err != nil {
-					return fmt.Errorf("engine: query %d candidate %d: %w", qi, ci, err)
+					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
 				if !ok {
 					continue
@@ -330,8 +349,8 @@ func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch
 		return nil, err
 	}
 
-	out := make([][]ProbMatch, len(queries))
-	for q := range queries {
+	out := make([][]ProbMatch, len(pqs))
+	for q := range pqs {
 		var all []ProbMatch
 		for shard := 0; shard < numShards; shard++ {
 			all = append(all, buckets[q*numShards+shard]...)
@@ -355,11 +374,11 @@ func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch
 // as the prefix bounds force the outcome. A completed accumulation applies
 // the same EpsNorm >= epsLimit test as the naive matcher to bit-identical
 // moments.
-func (e *Engine) proudAccept(qi, ci int, eps, epsLimit float64) bool {
+func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64) bool {
 	e.candidates.Add(1)
-	q, c := e.vecs[qi], e.vecs[ci]
+	q, c := pq.vec, e.vecs[ci]
 	n := len(q)
-	varD := e.varD
+	varD := pq.varD
 	var mean, variance float64
 	for t := 0; t < n; {
 		stop := t + proudCheckStride
@@ -374,7 +393,7 @@ func (e *Engine) proudAccept(qi, ci int, eps, epsLimit float64) bool {
 		if t >= n || e.opts.NoPrune {
 			continue
 		}
-		gap := 2 * (e.suffix[qi][t] + e.suffix[ci][t])
+		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
 		switch proud.PrefixDecide(mean, variance, n-t, varD, gap, eps, epsLimit) {
 		case proud.Accept:
 			e.resolvedEarly.Add(1)
@@ -392,11 +411,11 @@ func (e *Engine) proudAccept(qi, ci int, eps, epsLimit float64) bool {
 // proudProb computes the exact match probability for one pair, abandoning
 // (ok = false) when the prefix bounds prove the probability cannot reach
 // the current k-th best.
-func (e *Engine) proudProb(qi, ci int, eps, cut float64) (float64, bool) {
+func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64) (float64, bool) {
 	e.candidates.Add(1)
-	q, c := e.vecs[qi], e.vecs[ci]
+	q, c := pq.vec, e.vecs[ci]
 	n := len(q)
-	varD := e.varD
+	varD := pq.varD
 	var mean, variance float64
 	for t := 0; t < n; {
 		stop := t + proudCheckStride
@@ -411,7 +430,7 @@ func (e *Engine) proudProb(qi, ci int, eps, cut float64) (float64, bool) {
 		if t >= n || e.opts.NoPrune || math.IsInf(cut, -1) {
 			continue
 		}
-		gap := 2 * (e.suffix[qi][t] + e.suffix[ci][t])
+		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
 		if proud.ProbWithinUpper(mean, variance, n-t, varD, gap, eps) < cut-probBoundMargin {
 			e.abandoned.Add(1)
 			return 0, false
@@ -426,8 +445,8 @@ func (e *Engine) proudProb(qi, ci int, eps, cut float64) (float64, bool) {
 // munichProb with tau as the exclusion cutoff: an excluded candidate has a
 // probability provably below tau, so it rejects; a resolved one compares
 // exactly as the naive matcher does.
-func (e *Engine) munichAccept(qi, ci int, eps, tau float64) (bool, error) {
-	p, ok, err := e.munichProb(qi, ci, eps, tau)
+func (e *Engine) munichAccept(pq *PreparedQuery, ci int, eps, tau float64) (bool, error) {
+	p, ok, err := e.munichProb(pq, ci, eps, tau)
 	return ok && p >= tau, err
 }
 
@@ -441,14 +460,14 @@ func (e *Engine) munichAccept(qi, ci int, eps, tau float64) (bool, error) {
 // without having been computed. The bounding-interval prune runs in every
 // arm because the naive matcher itself applies it; the other devices are
 // the engine's additions.
-func (e *Engine) munichProb(qi, ci int, eps, cut float64) (float64, bool, error) {
+func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64) (float64, bool, error) {
 	e.candidates.Add(1)
-	if !e.opts.NoPrune && e.mIndex.LowerBoundBetween(qi, ci) > eps {
+	if !e.opts.NoPrune && munich.EnvelopeLowerBound(pq.env, e.envs[ci], e.spans) > eps {
 		// No materialisation is within eps: the probability is exactly 0.
 		e.pruned.Add(1)
 		return 0, true, nil
 	}
-	x, y := e.w.Samples[qi], e.w.Samples[ci]
+	x, y := pq.sample, *e.snap.Entry(ci).Samples
 	dec, err := munich.Prune(x, y, eps)
 	if err != nil {
 		return 0, false, err

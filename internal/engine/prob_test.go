@@ -7,11 +7,11 @@ import (
 	"testing"
 
 	"uncertts/internal/core"
+	"uncertts/internal/corpus"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
 	"uncertts/internal/query"
 	"uncertts/internal/stats"
-	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
 )
@@ -296,9 +296,20 @@ func TestProbPruningResolvesMostCandidates(t *testing.T) {
 
 func TestProbValidation(t *testing.T) {
 	w := probWorkload(t, 12, 16)
-	// MUNICH needs the sample model.
-	noSamples := probWorkload(t, 12, 16)
-	noSamples.Samples = nil
+	// MUNICH needs the sample model: a workload built without SamplesPerTS
+	// has no sample view in its corpus snapshot.
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 12, Length: 16, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.2, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSamples, err := core.NewWorkload(ds, pert, core.WorkloadConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := New(noSamples, Options{Measure: MeasureMUNICH}); err == nil {
 		t.Error("MeasureMUNICH without samples should error")
 	}
@@ -358,7 +369,7 @@ func TestProbValidation(t *testing.T) {
 
 // duplicateWorkload hand-builds a workload where series 0-3 are exact
 // duplicates: the adversarial input for zero-distance tie handling.
-func duplicateWorkload(t *testing.T) *core.Workload {
+func duplicateWorkload(t *testing.T) *corpus.Snapshot {
 	t.Helper()
 	const n = 16
 	base := make([]float64, n)
@@ -366,9 +377,7 @@ func duplicateWorkload(t *testing.T) *core.Workload {
 	for i := range base {
 		base[i] = rng.NormFloat64()
 	}
-	var exact []timeseries.Series
-	var pdf []uncertain.PDFSeries
-	errDist := stats.NewNormal(0, 0.1)
+	c := corpus.New(corpus.Config{ReportedSigma: 0.1})
 	for id := 0; id < 10; id++ {
 		vals := make([]float64, n)
 		copy(vals, base)
@@ -378,20 +387,11 @@ func duplicateWorkload(t *testing.T) *core.Workload {
 				vals[i] += float64(id) * 0.3 * float64(i%3)
 			}
 		}
-		s := timeseries.New(vals)
-		s.ID = id
-		exact = append(exact, s)
-		errs := make([]stats.Dist, n)
-		for i := range errs {
-			errs[i] = errDist
+		if _, err := c.Insert(corpus.Series{Values: vals}); err != nil {
+			t.Fatal(err)
 		}
-		pdf = append(pdf, uncertain.PDFSeries{Observations: vals, Errors: errs, ID: id})
 	}
-	sigmas := make([]float64, n)
-	for i := range sigmas {
-		sigmas[i] = 0.1
-	}
-	return &core.Workload{Exact: exact, PDF: pdf, Sigmas: sigmas, ReportedSigma: 0.1, K: 3}
+	return c.Snapshot()
 }
 
 // TestZeroDistanceTies is the ulpUp regression test: with exact-duplicate
@@ -399,12 +399,12 @@ func duplicateWorkload(t *testing.T) *core.Workload {
 // exactly zero, and the absolute floor must keep the remaining duplicates
 // from being excluded by their own tie.
 func TestZeroDistanceTies(t *testing.T) {
-	w := duplicateWorkload(t)
+	snap := duplicateWorkload(t)
 	for _, opts := range []Options{
 		{Measure: MeasureEuclidean, ShardSize: 3},
 		{Measure: MeasureDTW, Band: 3, ShardSize: 3},
 	} {
-		e, err := New(w, opts)
+		e, err := NewFromSnapshot(snap, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -423,7 +423,7 @@ func TestZeroDistanceTies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := query.RangeQueryFunc(w.Len(), 0, func(ci int) (float64, error) {
+		want, err := query.RangeQueryFunc(snap.Len(), 0, func(ci int) (float64, error) {
 			return e.Distance(0, ci)
 		}, 0)
 		if err != nil {

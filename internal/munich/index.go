@@ -3,7 +3,6 @@ package munich
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"uncertts/internal/uncertain"
 )
@@ -19,14 +18,9 @@ import (
 type Index struct {
 	segments int
 	spans    [][2]int // [start, end) timestamp range of each segment
-	entries  []indexEntry
+	entries  []Envelope
 	series   []uncertain.SampleSeries
 	length   int
-}
-
-type indexEntry struct {
-	lo []float64 // per-segment envelope minimum
-	hi []float64 // per-segment envelope maximum
 }
 
 // NewIndex builds an envelope index over equal-length sample series with
@@ -35,15 +29,10 @@ func NewIndex(collection []uncertain.SampleSeries, segments int) (*Index, error)
 	if len(collection) == 0 {
 		return nil, errors.New("munich: NewIndex: empty collection")
 	}
-	if segments < 1 {
-		segments = 1
-	}
 	n := collection[0].Len()
-	if segments > n {
-		segments = n
-	}
+	segments = ClampSegments(n, segments)
 	idx := &Index{segments: segments, length: n, series: collection}
-	idx.spans = idx.segmentSpans()
+	idx.spans = SegmentSpans(n, segments)
 	for _, s := range collection {
 		if err := s.Validate(); err != nil {
 			return nil, err
@@ -51,63 +40,16 @@ func NewIndex(collection []uncertain.SampleSeries, segments int) (*Index, error)
 		if s.Len() != n {
 			return nil, fmt.Errorf("munich: NewIndex: series %d has length %d, want %d", s.ID, s.Len(), n)
 		}
-		idx.entries = append(idx.entries, buildEntry(s, segments))
+		idx.entries = append(idx.entries, BuildEnvelope(s, segments))
 	}
 	return idx, nil
 }
 
-func buildEntry(s uncertain.SampleSeries, segments int) indexEntry {
-	e := indexEntry{lo: make([]float64, segments), hi: make([]float64, segments)}
-	n := s.Len()
-	for seg := 0; seg < segments; seg++ {
-		start := seg * n / segments
-		end := (seg + 1) * n / segments
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for i := start; i < end; i++ {
-			l, h := s.MinMaxAt(i)
-			lo = math.Min(lo, l)
-			hi = math.Max(hi, h)
-		}
-		e.lo[seg] = lo
-		e.hi[seg] = hi
-	}
-	return e
-}
-
-// segmentSpans computes the [start, end) timestamp range of each segment
-// for a series of the index's length. It is called once by NewIndex; query
-// paths read the cached x.spans instead of re-deriving (and re-allocating)
-// the spans per candidate.
-func (x *Index) segmentSpans() [][2]int {
-	spans := make([][2]int, x.segments)
-	for seg := 0; seg < x.segments; seg++ {
-		spans[seg] = [2]int{seg * x.length / x.segments, (seg + 1) * x.length / x.segments}
-	}
-	return spans
-}
-
 // lowerBound returns a lower bound on every feasible Euclidean distance
-// between materialisations of the query and entry i, computed segment-wise:
-// within a segment the envelopes bound every per-timestamp interval, so the
-// minimal per-timestamp gap between envelopes, squared and summed over the
-// segment's width, lower-bounds the true squared distance.
-func (x *Index) lowerBound(q indexEntry, i int) float64 {
-	c := x.entries[i]
-	var acc float64
-	for seg := 0; seg < x.segments; seg++ {
-		var gap float64
-		switch {
-		case q.lo[seg] > c.hi[seg]:
-			gap = q.lo[seg] - c.hi[seg]
-		case c.lo[seg] > q.hi[seg]:
-			gap = c.lo[seg] - q.hi[seg]
-		default:
-			continue
-		}
-		width := float64(x.spans[seg][1] - x.spans[seg][0])
-		acc += gap * gap * width
-	}
-	return math.Sqrt(acc)
+// between materialisations of the query and entry i (see
+// EnvelopeLowerBound, which it delegates to with the index's cached spans).
+func (x *Index) lowerBound(q Envelope, i int) float64 {
+	return EnvelopeLowerBound(q, x.entries[i], x.spans)
 }
 
 // Len returns the number of indexed series.
@@ -138,7 +80,7 @@ func (x *Index) Filter(q uncertain.SampleSeries, eps float64, selfID int) ([]int
 	if q.Len() != x.length {
 		return nil, FilterStats{}, fmt.Errorf("munich: Filter: query length %d, index length %d", q.Len(), x.length)
 	}
-	qe := buildEntry(q, x.segments)
+	qe := BuildEnvelope(q, x.segments)
 	var out []int
 	stats := FilterStats{}
 	for i := range x.entries {

@@ -203,7 +203,7 @@ func TestLowerBoundBetweenMatchesFilterBound(t *testing.T) {
 	}
 	// LowerBoundBetween must agree with the bound the Filter walk computes
 	// for the same query series (entries are built identically).
-	qe := buildEntry(coll[2], idx.segments)
+	qe := BuildEnvelope(coll[2], idx.segments)
 	for ci := range coll {
 		want := idx.lowerBound(qe, ci)
 		if got := idx.LowerBoundBetween(2, ci); got != want {

@@ -1,0 +1,498 @@
+// Package server exposes a corpus and its query engines over HTTP/JSON —
+// the serving tier that turns the batch reproduction into a system:
+//
+//	POST /query   similarity queries (topk, range, probtopk, probrange)
+//	              across every measure, against resident series (by stable
+//	              corpus ID) or ad-hoc series shipped in the request;
+//	POST /series  ingestion and deletion;
+//	GET  /stats   corpus and per-measure engine accounting.
+//
+// Requests execute on the engine's work-stealing executor with a
+// per-request worker budget, against whatever corpus snapshot is current
+// when the request arrives. Snapshot isolation does the heavy lifting for
+// concurrency: a query keeps its snapshot for its whole execution, so
+// in-flight queries are never perturbed by concurrent ingestion, and
+// writers never wait for readers.
+//
+// Engines are cached per measure and rebuilt only when the corpus epoch
+// moves on — and rebuilding is cheap because the per-series artifacts
+// (envelopes, filtered vectors, suffix energies, phi tables) live in the
+// corpus entries, which snapshots share. Work counters survive rebuilds:
+// /stats reports the cumulative accounting since the server started.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+
+	"uncertts/internal/corpus"
+	"uncertts/internal/engine"
+	"uncertts/internal/munich"
+	"uncertts/internal/stats"
+)
+
+// Options configures a Server.
+type Options struct {
+	// DefaultWorkers is the worker budget of a request that does not ask
+	// for one (0 = 1: concurrent requests parallelise across, not within,
+	// requests by default).
+	DefaultWorkers int
+	// MaxWorkers caps any request's worker budget (0 = GOMAXPROCS).
+	MaxWorkers int
+	// Band is the Sakoe-Chiba half-width DTW engines use (0 = length/10).
+	Band int
+	// MUNICH configures the probability estimator of MUNICH engines.
+	MUNICH munich.Options
+}
+
+// Server serves similarity queries over a corpus. It is safe for
+// concurrent use.
+type Server struct {
+	c    *corpus.Corpus
+	opts Options
+
+	mu      sync.Mutex
+	engines map[engine.Measure]*measureEngines
+}
+
+// measureEngines tracks one measure's engine across corpus epochs. The
+// previous engine is kept alive (not just its counters) until the next
+// rebuild so that requests still running on it when it was retired keep
+// accruing into /stats; only the engine before that is folded into the
+// frozen baseline.
+type measureEngines struct {
+	epoch    uint64
+	cur      *engine.Engine
+	prev     *engine.Engine
+	baseline engine.Stats
+}
+
+// New returns a server over the corpus.
+func New(c *corpus.Corpus, opts Options) *Server {
+	if opts.DefaultWorkers <= 0 {
+		opts.DefaultWorkers = 1
+	}
+	if opts.MaxWorkers <= 0 {
+		opts.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		c:       c,
+		opts:    opts,
+		engines: make(map[engine.Measure]*measureEngines),
+	}
+}
+
+// Corpus returns the corpus the server mutates and queries.
+func (s *Server) Corpus() *corpus.Corpus { return s.c }
+
+// Handler returns the HTTP handler serving /query, /series and /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// engineFor returns an engine serving the measure over the current corpus
+// snapshot, rebuilding the cached one only when the corpus moved past its
+// epoch. The snapshot is loaded under the lock so a request that read an
+// older snapshot before blocking can never evict a fresher engine.
+func (s *Server) engineFor(m engine.Measure) (*engine.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.c.Snapshot()
+	me := s.engines[m]
+	if me == nil {
+		me = &measureEngines{}
+		s.engines[m] = me
+	}
+	if me.cur != nil && me.epoch >= snap.Epoch() {
+		return me.cur, nil
+	}
+	e, err := engine.NewFromSnapshot(snap, engine.Options{
+		Measure: m,
+		Band:    s.opts.Band,
+		MUNICH:  s.opts.MUNICH,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if me.prev != nil {
+		me.baseline = me.baseline.Merge(me.prev.Stats())
+	}
+	me.prev = me.cur
+	me.cur = e
+	me.epoch = snap.Epoch()
+	return e, nil
+}
+
+// measureStats returns the cumulative counters for every measure: the
+// frozen baseline plus the live counters of the current and most recently
+// retired engines.
+func (s *Server) measureStats() map[string]engine.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]engine.Stats)
+	for m, me := range s.engines {
+		st := me.baseline
+		if me.prev != nil {
+			st = st.Merge(me.prev.Stats())
+		}
+		if me.cur != nil {
+			st = st.Merge(me.cur.Stats())
+		}
+		out[m.String()] = st
+	}
+	return out
+}
+
+// SeriesJSON is the wire form of one uncertain series.
+type SeriesJSON struct {
+	// Values holds one observation per timestamp.
+	Values []float64 `json:"values"`
+	// Sigma optionally attaches a constant error stddev (a zero-mean
+	// normal error model).
+	Sigma float64 `json:"sigma,omitempty"`
+	// Samples optionally attaches repeated observations per timestamp
+	// (required to serve the series with MUNICH).
+	Samples [][]float64 `json:"samples,omitempty"`
+	// Label carries an optional class label.
+	Label int `json:"label,omitempty"`
+}
+
+func (sj SeriesJSON) toCorpus() (corpus.Series, error) {
+	if sj.Sigma < 0 {
+		return corpus.Series{}, errors.New("sigma must be non-negative")
+	}
+	cs := corpus.Series{Values: sj.Values, Samples: sj.Samples, Label: sj.Label}
+	if sj.Sigma > 0 {
+		d := stats.NewNormal(0, sj.Sigma)
+		cs.Errors = make([]stats.Dist, len(sj.Values))
+		for i := range cs.Errors {
+			cs.Errors[i] = d
+		}
+	}
+	return cs, nil
+}
+
+// QueryRequest is the wire form of POST /query.
+type QueryRequest struct {
+	// Measure is one of euclidean, uma, uema, dtw, dust, proud, munich.
+	Measure string `json:"measure"`
+	// Type is the query family: topk or range for the distance measures,
+	// probtopk or probrange for proud/munich.
+	Type string `json:"type"`
+	// K is the neighbour count for topk/probtopk.
+	K int `json:"k,omitempty"`
+	// Eps is the distance threshold (range, probtopk, probrange).
+	Eps float64 `json:"eps,omitempty"`
+	// Tau is the probability threshold (probrange).
+	Tau float64 `json:"tau,omitempty"`
+	// ID poses a resident series (by stable corpus ID) as the query; the
+	// series itself is excluded from the answer.
+	ID *int `json:"id,omitempty"`
+	// Series poses an ad-hoc query series instead; nothing is excluded.
+	Series *SeriesJSON `json:"series,omitempty"`
+	// Workers is the per-request worker budget (0 = the server default,
+	// capped at the server maximum).
+	Workers int `json:"workers,omitempty"`
+}
+
+// NeighborJSON is one topk answer entry.
+type NeighborJSON struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// MatchJSON is one probtopk answer entry.
+type MatchJSON struct {
+	ID   int     `json:"id"`
+	Prob float64 `json:"prob"`
+}
+
+// QueryResponse is the wire form of a /query answer. IDs are stable corpus
+// IDs, valid across snapshots.
+type QueryResponse struct {
+	Measure   string         `json:"measure"`
+	Type      string         `json:"type"`
+	Epoch     uint64         `json:"epoch"`
+	Neighbors []NeighborJSON `json:"neighbors,omitempty"`
+	IDs       []int          `json:"ids,omitempty"`
+	Matches   []MatchJSON    `json:"matches,omitempty"`
+}
+
+// httpError carries a status code out of a handler helper.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Query(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		var he *httpError
+		if errors.As(err, &he) {
+			status = he.status
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Query executes one query request against the current snapshot. It is
+// exported so in-process callers (tests, embedding applications) can skip
+// HTTP.
+func (s *Server) Query(req QueryRequest) (*QueryResponse, error) {
+	m, err := engine.ParseMeasure(req.Measure)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	e, err := s.engineFor(m)
+	if err != nil {
+		return nil, badRequest("building %s engine: %v", m, err)
+	}
+	snap := e.Snapshot()
+
+	var pq *engine.PreparedQuery
+	switch {
+	case req.ID != nil && req.Series != nil:
+		return nil, badRequest("id and series are mutually exclusive")
+	case req.ID != nil:
+		pos, ok := snap.PosOf(*req.ID)
+		if !ok {
+			return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no series with ID %d", *req.ID)}
+		}
+		pq, err = e.PrepareIndex(pos)
+	case req.Series != nil:
+		pq, err = e.Prepare(engine.Query{
+			Values:  req.Series.Values,
+			Sigma:   req.Series.Sigma,
+			Samples: req.Series.Samples,
+		})
+	default:
+		return nil, badRequest("the query needs an id or a series")
+	}
+	if err != nil {
+		return nil, badRequest("preparing query: %v", err)
+	}
+	pq.Workers = s.clampWorkers(req.Workers)
+
+	resp := &QueryResponse{Measure: m.String(), Type: req.Type, Epoch: snap.Epoch()}
+	switch req.Type {
+	case "topk":
+		nn, err := pq.TopK(req.K)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		for _, n := range nn {
+			resp.Neighbors = append(resp.Neighbors, NeighborJSON{ID: snap.IDAt(n.ID), Distance: n.Distance})
+		}
+	case "range":
+		ids, err := pq.Range(req.Eps)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		resp.IDs = stableIDs(snap, ids)
+	case "probrange":
+		ids, err := pq.ProbRange(req.Eps, req.Tau)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		resp.IDs = stableIDs(snap, ids)
+	case "probtopk":
+		ms, err := pq.ProbTopK(req.Eps, req.K)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		for _, pm := range ms {
+			resp.Matches = append(resp.Matches, MatchJSON{ID: snap.IDAt(pm.ID), Prob: pm.Prob})
+		}
+	default:
+		return nil, badRequest("unknown query type %q (want topk, range, probtopk or probrange)", req.Type)
+	}
+	return resp, nil
+}
+
+func stableIDs(snap *corpus.Snapshot, positions []int) []int {
+	out := make([]int, len(positions))
+	for i, pos := range positions {
+		out[i] = snap.IDAt(pos)
+	}
+	return out
+}
+
+func (s *Server) clampWorkers(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = s.opts.DefaultWorkers
+	}
+	if w > s.opts.MaxWorkers {
+		w = s.opts.MaxWorkers
+	}
+	return w
+}
+
+// SeriesRequest is the wire form of POST /series: insertions and deletions
+// applied as one atomic mutation — either everything lands in a single
+// corpus epoch, or (e.g. on an unknown delete ID) nothing changes.
+type SeriesRequest struct {
+	Insert []SeriesJSON `json:"insert,omitempty"`
+	Delete []int        `json:"delete,omitempty"`
+}
+
+// SeriesResponse reports the outcome of a /series mutation.
+type SeriesResponse struct {
+	// IDs are the stable corpus IDs of the inserted series, in input
+	// order.
+	IDs []int `json:"ids,omitempty"`
+	// Deleted is the number of removed series.
+	Deleted int `json:"deleted,omitempty"`
+	// Epoch is the corpus epoch after the mutation.
+	Epoch uint64 `json:"epoch"`
+	// Series is the resident count after the mutation.
+	Series int `json:"series"`
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SeriesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Mutate(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		var he *httpError
+		if errors.As(err, &he) {
+			status = he.status
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Mutate applies one ingestion/deletion request as a single atomic corpus
+// mutation: on any error (including an unknown delete ID) nothing is
+// changed, so clients can retry safely.
+func (s *Server) Mutate(req SeriesRequest) (*SeriesResponse, error) {
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		return nil, badRequest("nothing to insert or delete")
+	}
+	batch := make([]corpus.Series, len(req.Insert))
+	for i, sj := range req.Insert {
+		cs, err := sj.toCorpus()
+		if err != nil {
+			return nil, badRequest("series %d: %v", i, err)
+		}
+		batch[i] = cs
+	}
+	ids, err := s.c.Apply(batch, req.Delete)
+	if err != nil {
+		return nil, &httpError{status: statusForApplyError(err), msg: err.Error()}
+	}
+	snap := s.c.Snapshot()
+	return &SeriesResponse{
+		IDs:     ids,
+		Deleted: len(req.Delete),
+		Epoch:   snap.Epoch(),
+		Series:  snap.Len(),
+	}, nil
+}
+
+// statusForApplyError maps a corpus mutation error to an HTTP status:
+// unknown-ID deletions are 404, everything else (validation) is 400.
+func statusForApplyError(err error) int {
+	if strings.Contains(err.Error(), "no series with ID") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// StatsResponse is the wire form of GET /stats.
+type StatsResponse struct {
+	// Series is the resident series count.
+	Series int `json:"series"`
+	// SeriesLen is the common series length.
+	SeriesLen int `json:"series_len"`
+	// Epoch is the current corpus epoch.
+	Epoch uint64 `json:"epoch"`
+	// Measures maps measure name to its cumulative engine counters.
+	Measures map[string]MeasureStatsJSON `json:"measures,omitempty"`
+}
+
+// MeasureStatsJSON is the cumulative accounting of one measure's engines.
+type MeasureStatsJSON struct {
+	Candidates       int64  `json:"candidates"`
+	Completed        int64  `json:"completed"`
+	AbandonedEarly   int64  `json:"abandoned_early"`
+	PrunedByEnvelope int64  `json:"pruned_by_envelope"`
+	ResolvedByBounds int64  `json:"resolved_by_bounds"`
+	ResolvedEarly    int64  `json:"resolved_early"`
+	Summary          string `json:"summary"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Stats())
+}
+
+// Stats assembles the /stats payload.
+func (s *Server) Stats() *StatsResponse {
+	snap := s.c.Snapshot()
+	resp := &StatsResponse{
+		Series:    snap.Len(),
+		SeriesLen: snap.SeriesLen(),
+		Epoch:     snap.Epoch(),
+		Measures:  make(map[string]MeasureStatsJSON),
+	}
+	for name, st := range s.measureStats() {
+		resp.Measures[name] = MeasureStatsJSON{
+			Candidates:       st.Candidates,
+			Completed:        st.Completed,
+			AbandonedEarly:   st.AbandonedEarly,
+			PrunedByEnvelope: st.PrunedByEnvelope,
+			ResolvedByBounds: st.ResolvedByBounds,
+			ResolvedEarly:    st.ResolvedEarly,
+			Summary:          st.String(),
+		}
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

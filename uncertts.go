@@ -26,6 +26,21 @@
 //	metrics, _ := uncertts.Evaluate(w, uncertts.NewUEMAMatcher(2, 1), nil)
 //	fmt.Printf("UEMA F1: %.3f\n", uncertts.AverageMetrics(metrics).F1)
 //
+// # Serving
+//
+// Beyond the batch evaluation, the package serves queries from a mutable
+// corpus with snapshot isolation (see NewCorpus, NewQueryEngineFromSnapshot,
+// NewQueryServer):
+//
+//	c := uncertts.NewCorpus(uncertts.CorpusConfig{ReportedSigma: 0.6})
+//	id, _ := c.Insert(uncertts.CorpusSeries{Values: obs})
+//	e, _ := uncertts.NewQueryEngineFromSnapshot(c.Snapshot(), uncertts.QueryEngineOptions{})
+//	pq, _ := e.Prepare(uncertts.AdHocQuery{Values: someVector})
+//	nn, _ := pq.TopK(5)
+//	_ = id
+//
+// cmd/uncertserve exposes the same stack over HTTP/JSON.
+//
 // The cmd/uncertbench binary regenerates any figure:
 //
 //	uncertbench -exp fig5 -scale medium
@@ -38,6 +53,7 @@ import (
 	"math/rand"
 
 	"uncertts/internal/core"
+	"uncertts/internal/corpus"
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
 	"uncertts/internal/engine"
@@ -45,6 +61,7 @@ import (
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
 	"uncertts/internal/query"
+	"uncertts/internal/server"
 	"uncertts/internal/stats"
 	"uncertts/internal/stream"
 	"uncertts/internal/timeseries"
@@ -262,6 +279,35 @@ func EvaluateParallel(w *Workload, m Matcher, queries []int, workers int) ([]Met
 	return core.EvaluateParallel(w, m, queries, workers)
 }
 
+// ---- Corpus (mutable data layer) ----
+
+// Corpus is the mutable data layer: a long-lived collection of uncertain
+// series supporting Insert/Delete while queries run. Per-series index
+// artifacts (LB_Keogh envelopes, UMA/UEMA filtered vectors, PROUD suffix
+// energies, MUNICH segment envelopes, shared DUST phi tables) are
+// maintained incrementally on insert, and the corpus publishes immutable
+// snapshots (copy-on-write, epoch-versioned) so concurrent readers are
+// never blocked by writers.
+type Corpus = corpus.Corpus
+
+// CorpusConfig fixes the artifact geometry of a corpus (series length,
+// envelope band, filter window, segment count, error defaults).
+type CorpusConfig = corpus.Config
+
+// CorpusSeries is the unit of ingestion: observations plus optional error
+// model and repeated-observation samples.
+type CorpusSeries = corpus.Series
+
+// CorpusSnapshot is one immutable, epoch-versioned version of a corpus;
+// everything reachable from it is frozen at publication.
+type CorpusSnapshot = corpus.Snapshot
+
+// CorpusEntry is one resident series with its derived artifacts.
+type CorpusEntry = corpus.Entry
+
+// NewCorpus returns an empty corpus with the given artifact geometry.
+func NewCorpus(cfg CorpusConfig) *Corpus { return corpus.New(cfg) }
+
 // ---- Query engine ----
 
 // QueryEngine is the pruned top-k / range similarity engine: it serves the
@@ -306,9 +352,48 @@ type Neighbor = query.Neighbor
 // Pr(distance <= eps); the result unit of the engine's ProbTopK queries.
 type ProbMatch = engine.ProbMatch
 
-// NewQueryEngine builds a pruned query engine over the workload.
+// NewQueryEngine builds a pruned query engine over the workload (a thin
+// wrapper over NewQueryEngineFromSnapshot on the workload's snapshot).
 func NewQueryEngine(w *Workload, opts QueryEngineOptions) (*QueryEngine, error) {
 	return engine.New(w, opts)
+}
+
+// NewQueryEngineFromSnapshot builds a pruned query engine over a corpus
+// snapshot, reusing the snapshot's precomputed per-series artifacts
+// whenever the options match the corpus geometry.
+func NewQueryEngineFromSnapshot(snap *CorpusSnapshot, opts QueryEngineOptions) (*QueryEngine, error) {
+	return engine.NewFromSnapshot(snap, opts)
+}
+
+// AdHocQuery is an arbitrary uncertain series — not necessarily resident
+// in any corpus — posed as a query: observations, optional error model,
+// optional repeated-observation samples (required for MUNICH).
+type AdHocQuery = engine.Query
+
+// PreparedQuery is a query bound to an engine with its derived state
+// (filtered vector, suffix energies, sample envelope) precomputed, so
+// repeated queries amortise their setup. Its Workers field sets a
+// per-request worker budget.
+type PreparedQuery = engine.PreparedQuery
+
+// ---- HTTP query server ----
+
+// QueryServer serves similarity queries over a corpus via HTTP/JSON:
+// POST /query (topk, range, probtopk, probrange across all measures, by
+// resident series ID or ad-hoc series), POST /series (ingest/delete) and
+// GET /stats. Concurrent requests execute on the engine's work-stealing
+// executor with per-request worker budgets; in-flight queries keep the
+// corpus snapshot they started on.
+type QueryServer = server.Server
+
+// QueryServerOptions configures a QueryServer (per-request worker budgets,
+// DTW band, MUNICH estimator).
+type QueryServerOptions = server.Options
+
+// NewQueryServer returns a query server over the corpus; mount Handler()
+// on any http server.
+func NewQueryServer(c *Corpus, opts QueryServerOptions) *QueryServer {
+	return server.New(c, opts)
 }
 
 // CalibrateTau finds the best probability threshold for a probabilistic
