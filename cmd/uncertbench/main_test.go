@@ -10,11 +10,13 @@ import (
 
 func TestFlagValidation(t *testing.T) {
 	for name, args := range map[string][]string{
-		"unknown experiment": {"-exp", "fig99"},
-		"unknown scale":      {"-scale", "huge"},
-		"json without bench": {"-json"},
-		"bad tau":            {"-bench", "-tau", "1.5"},
-		"unknown flag":       {"-nope"},
+		"unknown experiment":        {"-exp", "fig99"},
+		"unknown scale":             {"-scale", "huge"},
+		"json without bench":        {"-json"},
+		"bad tau":                   {"-bench", "-tau", "1.5"},
+		"unknown flag":              {"-nope"},
+		"wrapper-max without bench": {"-wrapper-max", "1.15"},
+		"negative wrapper-max":      {"-bench", "-wrapper-max", "-1"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s (%v): expected an error", name, args)

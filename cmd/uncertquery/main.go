@@ -21,13 +21,21 @@
 // ground-truth threshold:
 //
 //	uncertquery -mode probrange -technique proud -tau 0.05 -query 3
+//
+// Both engine modes execute through the declarative QueryRequest API
+// (engine.Run) and accept -timeout, a deadline the whole execution stack
+// honours — the scan stops promptly when it expires:
+//
+//	uncertquery -mode topk -technique dtw -topk 5 -timeout 500ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"uncertts/internal/core"
 	"uncertts/internal/engine"
@@ -53,6 +61,7 @@ type config struct {
 	topk      int
 	band      int
 	workers   int
+	timeout   time.Duration
 }
 
 var (
@@ -121,7 +130,19 @@ func validate(cfg config) error {
 			return fmt.Errorf("-tau = %v outside the valid range (0 = calibrate; proud needs (0, 1), munich (0, 1])", cfg.tau)
 		}
 	}
+	if cfg.timeout < 0 {
+		return fmt.Errorf("-timeout = %v must be non-negative (0 = no deadline)", cfg.timeout)
+	}
 	return nil
+}
+
+// queryContext derives the engine-query context from the -timeout flag
+// (0 = no deadline).
+func queryContext(cfg config) (context.Context, context.CancelFunc) {
+	if cfg.timeout > 0 {
+		return context.WithTimeout(context.Background(), cfg.timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 func main() {
@@ -141,6 +162,7 @@ func main() {
 	flag.IntVar(&cfg.topk, "topk", 5, "neighbours to return in topk mode")
 	flag.IntVar(&cfg.band, "band", 0, "Sakoe-Chiba half-width for dtw topk (0 = length/10)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel workers in topk/probrange mode (0 = GOMAXPROCS)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "deadline for topk/probrange queries, e.g. 500ms (0 = none)")
 	flag.Parse()
 
 	if err := validate(cfg); err != nil {
@@ -226,10 +248,18 @@ func runTopK(w *core.Workload, dsName string, cfg config) {
 	if err != nil {
 		fatal(err)
 	}
-	nn, err := e.TopK(cfg.queryIdx, cfg.topk)
+	ctx, cancel := queryContext(cfg)
+	defer cancel()
+	res, err := e.Run(ctx, engine.Request{
+		Measure: measure,
+		Kind:    engine.KindTopK,
+		Index:   &cfg.queryIdx,
+		K:       cfg.topk,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	nn := res.Neighbors
 	stats := e.Stats()
 
 	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())
@@ -268,10 +298,19 @@ func runProbRange(w *core.Workload, dsName string, cfg config) {
 	if err != nil {
 		fatal(err)
 	}
-	got, err := e.ProbRange(cfg.queryIdx, eps, tau)
+	ctx, cancel := queryContext(cfg)
+	defer cancel()
+	res, err := e.Run(ctx, engine.Request{
+		Measure: measure,
+		Kind:    engine.KindProbRange,
+		Index:   &cfg.queryIdx,
+		Eps:     eps,
+		Tau:     tau,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	got := res.IDs
 	stats := e.Stats()
 
 	fmt.Printf("dataset    : %s (%d series x %d points)\n", dsName, w.Len(), w.SeriesLen())

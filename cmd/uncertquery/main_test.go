@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // goodConfig is a baseline that must validate; each case mutates one flag.
@@ -53,6 +54,7 @@ func TestValidate(t *testing.T) {
 		{"negative tau", func(c *config) { c.tau = -0.1 }, "-tau"},
 		{"tau one for proud", func(c *config) { c.mode = "probrange"; c.technique = "proud"; c.tau = 1 }, "-tau"},
 		{"tau above one", func(c *config) { c.mode = "probrange"; c.technique = "munich"; c.tau = 1.5 }, "-tau"},
+		{"negative timeout", func(c *config) { c.timeout = -time.Second }, "-timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

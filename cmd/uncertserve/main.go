@@ -1,16 +1,20 @@
 // Command uncertserve serves uncertain-similarity queries over HTTP/JSON:
 // a mutable corpus of uncertain series behind /query (topk, range,
-// probtopk, probrange across all seven measures), /series (ingest and
-// delete) and /stats (corpus and per-measure engine accounting).
+// probtopk, probrange across all seven measures), /query/stream
+// (incremental NDJSON results), /series (ingest and delete) and /stats
+// (corpus and per-measure engine accounting).
 //
 // Usage:
 //
 //	uncertserve -addr :8080 -dataset CBF -series 64 -length 96 -sigma 0.6 -samples 5
 //
-// Query a resident series by its stable ID, or ship an ad-hoc series:
+// Query a resident series by its stable ID, or ship an ad-hoc series.
+// Queries run under the request's context — hanging up cancels the scan —
+// and accept a per-request timeout_ms (-timeout sets the server default):
 //
-//	curl -s localhost:8080/query -d '{"measure":"uema","type":"topk","k":5,"id":3}'
+//	curl -s localhost:8080/query -d '{"measure":"uema","type":"topk","k":5,"id":3,"timeout_ms":500}'
 //	curl -s localhost:8080/query -d '{"measure":"proud","type":"probrange","eps":4.5,"tau":0.1,"series":{"values":[...],"sigma":0.6}}'
+//	curl -sN localhost:8080/query/stream -d '{"measure":"euclidean","type":"range","eps":6,"id":3}'
 //
 // Ingest and delete while queries run; in-flight queries keep the corpus
 // snapshot they started on:
@@ -27,6 +31,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"uncertts/internal/corpus"
 	"uncertts/internal/munich"
@@ -46,6 +51,7 @@ type config struct {
 	defWorkers int
 	maxWorkers int
 	mcSamples  int
+	timeout    time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -62,8 +68,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.defWorkers, "workers", 1, "default per-request worker budget")
 	fs.IntVar(&cfg.maxWorkers, "max-workers", 0, "per-request worker budget cap (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.mcSamples, "munich-bins", 0, "MUNICH convolution estimator bins (0 = default)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-query deadline for requests without timeout_ms, e.g. 2s (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if cfg.timeout < 0 {
+		return cfg, fmt.Errorf("-timeout = %v must be non-negative", cfg.timeout)
 	}
 	if cfg.length < 1 {
 		return cfg, fmt.Errorf("-length = %d must be at least 1", cfg.length)
@@ -112,6 +122,7 @@ func buildServer(cfg config) (*server.Server, error) {
 	return server.New(c, server.Options{
 		DefaultWorkers: cfg.defWorkers,
 		MaxWorkers:     cfg.maxWorkers,
+		DefaultTimeout: cfg.timeout,
 		MUNICH:         munich.Options{Bins: cfg.mcSamples},
 	}), nil
 }

@@ -15,6 +15,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		"bad sigma":   {"-sigma", "-1"},
 		"bad samples": {"-samples", "-2"},
 		"bad series":  {"-series", "0"},
+		"bad timeout": {"-timeout", "-1s"},
 		"unknown":     {"-nope"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {

@@ -1,0 +1,128 @@
+// Declarative: the one-request query API. A corpus is stood up once, and
+// every query shape — top-k, range, probabilistic range — is expressed as
+// a QueryRequest and executed by QueryEngine.Run under a context the whole
+// stack honours: cancelling it (or letting its deadline expire) stops the
+// scan promptly, all the way down to the executor shards and the distance
+// kernels.
+//
+//	go run ./examples/declarative
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"uncertts"
+)
+
+const (
+	nSeries = 48
+	length  = 96
+	seed    = 3
+)
+
+func main() {
+	// A corpus of noisy series with a known error level.
+	ds, err := uncertts.GenerateDataset("CBF", uncertts.DatasetOptions{
+		MaxSeries: nSeries, Length: length, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pert, err := uncertts.NewConstantPerturber(uncertts.Normal, 0.6, length, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := uncertts.NewCorpus(uncertts.CorpusConfig{Length: length, ReportedSigma: 0.6})
+	for _, s := range ds.Series {
+		ps := pert.PerturbPDF(s)
+		if _, err := c.Insert(uncertts.CorpusSeries{Values: ps.Observations, Errors: ps.Errors}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One engine per measure; every query against it is a QueryRequest.
+	e, err := uncertts.NewQueryEngineFromSnapshot(c.Snapshot(), uncertts.QueryEngineOptions{
+		Measure: uncertts.MeasureUEMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	qi := 7
+
+	// Top-k: the k nearest residents of series 7, excluding itself.
+	res, err := e.Run(ctx, uncertts.QueryRequest{
+		Measure: uncertts.MeasureUEMA,
+		Kind:    uncertts.QueryTopK,
+		Index:   &qi,
+		K:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d of series %d under UEMA:\n", res.Total, qi)
+	for rank, n := range res.Neighbors {
+		fmt.Printf("  #%d series %-3d distance %.4f\n", rank+1, n.ID, n.Distance)
+	}
+
+	// Range, streamed: neighbours are delivered incrementally as the
+	// executor shards confirm them (order is nondeterministic under
+	// parallelism, so only the count is printed), then the final result
+	// arrives sorted.
+	eps := res.Neighbors[len(res.Neighbors)-1].Distance
+	streamed := 0
+	res, err = e.RunStream(ctx, uncertts.QueryRequest{
+		Measure: uncertts.MeasureUEMA,
+		Kind:    uncertts.QueryRange,
+		Index:   &qi,
+		Eps:     eps,
+	}, func(uncertts.QueryStreamItem) error {
+		streamed++
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range eps=%.4f: %d matches streamed incrementally, final answer %v\n", eps, streamed, res.IDs)
+
+	// Pagination: the same query windowed to one entry starting at the
+	// second match.
+	res, err = e.Run(ctx, uncertts.QueryRequest{
+		Measure: uncertts.MeasureUEMA,
+		Kind:    uncertts.QueryRange,
+		Index:   &qi,
+		Eps:     eps,
+		Offset:  1,
+		Limit:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("page offset=1 limit=1: %v of %d total\n", res.IDs, res.Total)
+
+	// Cancellation: a cancelled context stops the query before any work
+	// runs, and the error is classified by sentinel, not string.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = e.Run(cancelled, uncertts.QueryRequest{
+		Measure: uncertts.MeasureUEMA,
+		Kind:    uncertts.QueryTopK,
+		Index:   &qi,
+		K:       5,
+	})
+	fmt.Printf("cancelled context: ErrQueryCancelled=%v context.Canceled=%v\n",
+		errors.Is(err, uncertts.ErrQueryCancelled), errors.Is(err, context.Canceled))
+
+	// Validation failures carry field-specific sentinels too.
+	_, err = e.Run(ctx, uncertts.QueryRequest{
+		Measure: uncertts.MeasureUEMA,
+		Kind:    uncertts.QueryTopK,
+		Index:   &qi,
+		K:       0,
+	})
+	fmt.Printf("k=0: ErrBadRequest=%v (%v)\n", errors.Is(err, uncertts.ErrBadRequest), err)
+}

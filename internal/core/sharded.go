@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"uncertts/internal/qerr"
 )
 
 // RunSharded executes fn over contiguous chunks of the index space [0, n):
@@ -21,6 +24,18 @@ import (
 // error, workers stop claiming new chunks; the error reported is the one
 // from the lowest-indexed failed chunk.
 func RunSharded(n, chunk, workers int, fn func(lo, hi int) error) error {
+	return RunShardedCtx(context.Background(), n, chunk, workers, fn)
+}
+
+// RunShardedCtx is RunSharded under a context: workers poll ctx at every
+// chunk boundary, stop claiming chunks once it is cancelled, drain (the
+// call does not return while any fn invocation is still running) and
+// report a qerr.Cancelled error wrapping ctx.Err(). Work already completed
+// is not rolled back; a run whose last chunk was claimed before the
+// cancellation landed completes normally and returns nil. Promptness
+// within a chunk is the callee's business: long-running fn bodies that
+// want mid-chunk cancellation should poll ctx.Done() themselves.
+func RunShardedCtx(ctx context.Context, n, chunk, workers int, fn func(lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -37,8 +52,14 @@ func RunSharded(n, chunk, workers int, fn func(lo, hi int) error) error {
 	if workers > numChunks {
 		workers = numChunks
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for c := 0; c < numChunks; c++ {
+			select {
+			case <-done:
+				return qerr.Cancelled(ctx.Err())
+			default:
+			}
 			lo := c * chunk
 			hi := lo + chunk
 			if hi > n {
@@ -54,12 +75,19 @@ func RunSharded(n, chunk, workers int, fn func(lo, hi int) error) error {
 	errs := make([]error, numChunks)
 	var cursor atomic.Int64
 	var failed atomic.Bool
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					cancelled.Store(true)
+					return
+				default:
+				}
 				c := int(cursor.Add(1)) - 1
 				if c >= numChunks || failed.Load() {
 					return
@@ -81,6 +109,9 @@ func RunSharded(n, chunk, workers int, fn func(lo, hi int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled.Load() {
+		return qerr.Cancelled(ctx.Err())
 	}
 	return nil
 }

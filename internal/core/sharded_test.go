@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+
+	"uncertts/internal/qerr"
 )
 
 func TestRunShardedCoversEveryIndexOnce(t *testing.T) {
@@ -63,5 +67,64 @@ func TestRunShardedStopsClaimingAfterError(t *testing.T) {
 	}
 	if got := ran.Load(); got != 3 {
 		t.Fatalf("single worker ran %d chunks after failure at the third, want 3", got)
+	}
+}
+
+func TestRunShardedCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		errCh := make(chan error, 1)
+		var releaseOnce sync.Once
+		release := make(chan struct{})
+		go func() {
+			errCh <- RunShardedCtx(ctx, 1000, 1, workers, func(lo, hi int) error {
+				ran.Add(1)
+				releaseOnce.Do(func() { close(release) })
+				<-ctx.Done() // hold every claimed chunk until the cancel
+				return nil
+			})
+		}()
+		<-release
+		cancel()
+		err := <-errCh
+		if !errors.Is(err, qerr.ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCancelled wrapping context.Canceled", workers, err)
+		}
+		// Workers must stop claiming promptly: far fewer chunks than the
+		// total ran.
+		if got := ran.Load(); got >= 1000 {
+			t.Fatalf("workers=%d: all %d chunks ran despite cancellation", workers, got)
+		}
+	}
+}
+
+func TestRunShardedCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := RunShardedCtx(ctx, 100, 10, 4, func(lo, hi int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, qerr.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d chunks ran under a pre-cancelled context", got)
+	}
+}
+
+func TestRunShardedCtxCompletesWithoutCancel(t *testing.T) {
+	var ran atomic.Int64
+	err := RunShardedCtx(context.Background(), 100, 10, 4, func(lo, hi int) error {
+		ran.Add(int64(hi - lo))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d items, want 100", got)
 	}
 }

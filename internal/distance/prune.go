@@ -9,6 +9,8 @@ package distance
 import (
 	"fmt"
 	"math"
+
+	"uncertts/internal/qerr"
 )
 
 // SquaredEuclideanEarlyAbandon accumulates the squared L2 distance between
@@ -120,6 +122,19 @@ func LBKeoghSquared(q, upper, lower []float64, cutoff float64) (float64, error) 
 // whether the computation completed. Completion implies dist^2 <= cutoff
 // up to the final-cell check; cutoff = +Inf never abandons.
 func DTWBandEarlyAbandon(x, y []float64, band int, cutoff float64) (float64, bool, error) {
+	return DTWBandEarlyAbandonCancel(x, y, band, cutoff, nil)
+}
+
+// dtwCancelStride is the number of DP rows computed between cancellation
+// polls: frequent enough that even a single long DTW stops within a sliver
+// of its runtime, sparse enough that the poll is noise next to a row.
+const dtwCancelStride = 32
+
+// DTWBandEarlyAbandonCancel is DTWBandEarlyAbandon with cooperative
+// cancellation: every dtwCancelStride DP rows it polls done and, once done
+// is closed, returns an error wrapping qerr.ErrCancelled. A nil done never
+// cancels and computes exactly DTWBandEarlyAbandon.
+func DTWBandEarlyAbandonCancel(x, y []float64, band int, cutoff float64, done <-chan struct{}) (float64, bool, error) {
 	n, m := len(x), len(y)
 	if n == 0 || m == 0 {
 		return 0, false, fmt.Errorf("distance: DTW over empty series")
@@ -134,6 +149,13 @@ func DTWBandEarlyAbandon(x, y []float64, band int, cutoff float64) (float64, boo
 	}
 	prev[0] = 0
 	for i := 1; i <= n; i++ {
+		if done != nil && i%dtwCancelStride == 0 {
+			select {
+			case <-done:
+				return 0, false, qerr.Cancelled(nil)
+			default:
+			}
+		}
 		for j := range curr {
 			curr[j] = math.Inf(1)
 		}

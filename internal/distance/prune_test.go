@@ -1,9 +1,12 @@
 package distance
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+
+	"uncertts/internal/qerr"
 )
 
 func randSeries(rng *rand.Rand, n int) []float64 {
@@ -144,5 +147,33 @@ func TestDTWBandEarlyAbandonErrors(t *testing.T) {
 	}
 	if _, _, err := DTWBandEarlyAbandon([]float64{1, 2, 3}, []float64{1}, 1, 1); err == nil {
 		t.Fatal("want band-too-narrow error")
+	}
+}
+
+func TestDTWBandEarlyAbandonCancel(t *testing.T) {
+	n := 256 // long enough to cross several poll strides
+	x, y := make([]float64, n), make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+		y[i] = math.Cos(float64(i) * 0.13)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	_, complete, err := DTWBandEarlyAbandonCancel(x, y, -1, math.Inf(1), closed)
+	if !errors.Is(err, qerr.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if complete {
+		t.Fatal("cancelled DTW reported complete")
+	}
+
+	// A nil done computes exactly the uncancelled kernel.
+	want, wantComplete, err := DTWBandEarlyAbandon(x, y, -1, math.Inf(1))
+	if err != nil || !wantComplete {
+		t.Fatalf("reference failed: %v", err)
+	}
+	got, complete, err := DTWBandEarlyAbandonCancel(x, y, -1, math.Inf(1), nil)
+	if err != nil || !complete || got != want {
+		t.Fatalf("nil done gave %v (complete=%v, err=%v), want %v", got, complete, err, want)
 	}
 }

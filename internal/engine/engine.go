@@ -56,6 +56,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -68,6 +69,7 @@ import (
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
 	"uncertts/internal/munich"
+	"uncertts/internal/qerr"
 	"uncertts/internal/query"
 	"uncertts/internal/timeseries"
 )
@@ -136,14 +138,15 @@ func (m Measure) Probabilistic() bool {
 }
 
 // ParseMeasure resolves a case-insensitive measure name ("euclidean",
-// "uma", "uema", "dtw", "dust", "proud", "munich").
+// "uma", "uema", "dtw", "dust", "proud", "munich"). Failure wraps
+// qerr.ErrUnknownMeasure.
 func ParseMeasure(name string) (Measure, error) {
 	for _, m := range Measures() {
 		if strings.EqualFold(name, m.String()) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("engine: unknown measure %q (want euclidean, uma, uema, dtw, dust, proud or munich)", name)
+	return 0, fmt.Errorf("engine: %w: %q (want euclidean, uma, uema, dtw, dust, proud or munich)", qerr.ErrUnknownMeasure, name)
 }
 
 // Options configures an Engine.
@@ -373,7 +376,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("engine: unknown measure %v", opts.Measure)
+		return nil, fmt.Errorf("engine: %w: %v", qerr.ErrUnknownMeasure, opts.Measure)
 	}
 	return e, nil
 }
@@ -414,13 +417,21 @@ func (e *Engine) ResetStats() {
 	e.resolvedEarly.Store(0)
 }
 
+// uncount retracts a candidate that will never resolve — a cancelled or
+// failed computation — so the Stats accounting identity (Candidates equals
+// the sum of the resolution counters) holds even for queries stopped by
+// their context.
+func (e *Engine) uncount() { e.candidates.Add(-1) }
+
 // distPruned evaluates the measure's distance between a prepared query and
 // candidate ci under a cutoff in squared-distance space. It returns the
 // exact distance and true when the computation completed (which implies
 // dist^2 <= cutoff2); a false return means the candidate was excluded by a
 // lower bound or abandoned mid-scan and cannot have distance <= the
-// distance whose square the cutoff came from.
-func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64, bool, error) {
+// distance whose square the cutoff came from. done (nil = never) threads
+// cooperative cancellation into the one kernel long enough to need
+// mid-candidate polling, the DTW row loop.
+func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64, done <-chan struct{}) (float64, bool, error) {
 	e.candidates.Add(1)
 	if e.opts.NoPrune {
 		cutoff2 = math.Inf(1)
@@ -429,6 +440,7 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64
 	case MeasureEuclidean, MeasureUMA, MeasureUEMA:
 		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(pq.vec, e.vecs[ci], cutoff2)
 		if err != nil {
+			e.uncount()
 			return 0, false, err
 		}
 		if !complete {
@@ -440,14 +452,16 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64
 	case MeasureDTW:
 		lb, err := distance.LBKeoghSquared(pq.vec, e.upper[ci], e.lower[ci], cutoff2)
 		if err != nil {
+			e.uncount()
 			return 0, false, err
 		}
 		if lb > cutoff2 {
 			e.pruned.Add(1)
 			return 0, false, nil
 		}
-		d, complete, err := distance.DTWBandEarlyAbandon(pq.vec, e.vecs[ci], e.band, cutoff2)
+		d, complete, err := distance.DTWBandEarlyAbandonCancel(pq.vec, e.vecs[ci], e.band, cutoff2, done)
 		if err != nil {
+			e.uncount()
 			return 0, false, err
 		}
 		if !complete {
@@ -459,6 +473,7 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64
 	case MeasureDUST:
 		d, complete, err := e.dust.DistanceEarlyAbandon(pq.pdf, e.snap.Entry(ci).PDF, cutoff2)
 		if err != nil {
+			e.uncount()
 			return 0, false, err
 		}
 		if !complete {
@@ -468,9 +483,11 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64) (float64
 		e.completed.Add(1)
 		return d, true, nil
 	case MeasurePROUD, MeasureMUNICH:
-		return 0, false, fmt.Errorf("engine: measure %v defines match probabilities, not distances (use ProbRange/ProbTopK)", e.opts.Measure)
+		e.uncount()
+		return 0, false, qerr.BadRequestf("engine: measure %v defines match probabilities, not distances (use ProbRange/ProbTopK)", e.opts.Measure)
 	default:
-		return 0, false, fmt.Errorf("engine: unknown measure %v", e.opts.Measure)
+		e.uncount()
+		return 0, false, fmt.Errorf("engine: %w: %v", qerr.ErrUnknownMeasure, e.opts.Measure)
 	}
 }
 
@@ -484,13 +501,13 @@ func (e *Engine) Distance(qi, ci int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d, _, err := e.distPruned(pq, ci, math.Inf(1))
+	d, _, err := e.distPruned(pq, ci, math.Inf(1), nil)
 	return d, err
 }
 
 func (e *Engine) checkIndex(i int) error {
 	if i < 0 || i >= e.snap.Len() {
-		return fmt.Errorf("engine: series index %d outside [0, %d)", i, e.snap.Len())
+		return fmt.Errorf("engine: %w", qerr.BadRequestf("series index %d outside [0, %d)", i, e.snap.Len()))
 	}
 	return nil
 }
@@ -607,18 +624,26 @@ func ulpUp(v float64) float64 {
 // measure, excluding qi itself, sorted by ascending distance with ties
 // broken by ID — exactly what a naive full scan (query.TopK over the exact
 // distance) returns.
+//
+// Legacy surface: TopK is a thin wrapper over Run with a background
+// context. New callers should build a Request and call Run directly, which
+// additionally offers cancellation, deadlines and pagination.
 func (e *Engine) TopK(qi, k int) ([]query.Neighbor, error) {
-	res, err := e.TopKBatch([]int{qi}, k)
+	res, err := e.Run(context.Background(), Request{Measure: e.opts.Measure, Kind: KindTopK, Index: &qi, K: k})
 	if err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	return res.Neighbors, nil
 }
 
 // TopKBatch answers the top-k query for every query index in one batched,
 // sharded, work-stealing pass. Results are per-query, in input order, and
 // identical to running TopK on each query alone — or to the naive scan —
 // for every worker count.
+//
+// Legacy surface: the batch methods remain the direct execution path (one
+// executor pass shared by the whole batch); Run serves the same answers
+// one request at a time with cancellation.
 func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 	pqs, err := e.prepareIndexBatch(queries)
 	if err != nil {
@@ -630,8 +655,14 @@ func (e *Engine) TopKBatch(queries []int, k int) ([][]query.Neighbor, error) {
 // TopKPrepared answers the top-k query for every prepared query in one
 // batched, sharded, work-stealing pass.
 func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, error) {
+	return e.topKPrepared(context.Background(), pqs, k)
+}
+
+// topKPrepared is the top-k execution core: sharded scan under a context,
+// polled at every (query, shard) work item and inside the DTW kernel.
+func (e *Engine) topKPrepared(ctx context.Context, pqs []*PreparedQuery, k int) ([][]query.Neighbor, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("engine: k = %d must be positive", k)
+		return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("k = %d must be at least 1", k))
 	}
 	if err := e.checkPrepared(pqs); err != nil {
 		return nil, err
@@ -639,6 +670,7 @@ func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, 
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
+	done := ctx.Done()
 
 	bounds := make([]*sharedBound, len(pqs))
 	for i := range bounds {
@@ -648,7 +680,7 @@ func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, 
 	// exactly one worker each, merged after the barrier.
 	buckets := make([][]query.Neighbor, len(pqs)*numShards)
 
-	err := core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
+	err := core.RunShardedCtx(ctx, len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
 			pq := pqs[q]
@@ -668,7 +700,7 @@ func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, 
 						cut = t
 					}
 				}
-				d, ok, err := e.distPruned(pq, ci, cut)
+				d, ok, err := e.distPruned(pq, ci, cut, done)
 				if err != nil {
 					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
@@ -712,29 +744,37 @@ func (e *Engine) TopKPrepared(pqs []*PreparedQuery, k int) ([][]query.Neighbor, 
 // Range returns the IDs of every series within eps of query qi under the
 // engine's measure, excluding qi, in ascending ID order — identical to
 // query.RangeQueryFunc over the exact distance.
+//
+// Legacy surface: Range is a thin wrapper over Run with a background
+// context.
 func (e *Engine) Range(qi int, eps float64) ([]int, error) {
-	pq, err := e.PrepareIndex(qi)
+	res, err := e.Run(context.Background(), Request{Measure: e.opts.Measure, Kind: KindRange, Index: &qi, Eps: eps})
 	if err != nil {
 		return nil, err
 	}
-	return pq.Range(eps)
+	return res.IDs, nil
 }
 
 // rangePrepared is the execution core of Range for one prepared query.
-func (e *Engine) rangePrepared(pq *PreparedQuery, eps float64) ([]int, error) {
+// emit (nil = none) is invoked for every confirmed match as its shard
+// completes — shard order, hence emission order, is nondeterministic under
+// parallelism; the returned slice is always in ascending position order. A
+// non-nil emit error aborts the scan.
+func (e *Engine) rangePrepared(ctx context.Context, pq *PreparedQuery, eps float64, emit func(id int, dist float64) error) ([]int, error) {
 	if err := e.checkPrepared([]*PreparedQuery{pq}); err != nil {
 		return nil, err
 	}
 	if math.IsNaN(eps) || eps < 0 {
-		return nil, errors.New("engine: eps must be non-negative")
+		return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("eps = %v must be non-negative", eps))
 	}
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
 	cutoff2 := ulpUp(eps * eps)
+	done := ctx.Done()
 
 	buckets := make([][]int, numShards)
-	err := core.RunSharded(numShards, 1, e.workersFor([]*PreparedQuery{pq}), func(lo, hi int) error {
+	err := core.RunShardedCtx(ctx, numShards, 1, e.workersFor([]*PreparedQuery{pq}), func(lo, hi int) error {
 		for shard := lo; shard < hi; shard++ {
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
@@ -745,12 +785,17 @@ func (e *Engine) rangePrepared(pq *PreparedQuery, eps float64) ([]int, error) {
 				if ci == pq.self {
 					continue
 				}
-				d, ok, err := e.distPruned(pq, ci, cutoff2)
+				d, ok, err := e.distPruned(pq, ci, cutoff2, done)
 				if err != nil {
 					return fmt.Errorf("engine: candidate %d: %w", ci, err)
 				}
 				if ok && d <= eps {
 					ids = append(ids, ci)
+					if emit != nil {
+						if err := emit(ci, d); err != nil {
+							return err
+						}
+					}
 				}
 			}
 			buckets[shard] = ids

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +10,7 @@ import (
 	"uncertts/internal/core"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
+	"uncertts/internal/qerr"
 )
 
 // Probabilistic threshold queries (MeasurePROUD, MeasureMUNICH): the
@@ -143,13 +144,13 @@ func (h *probHeap) push(p float64) {
 // queries.
 func (e *Engine) checkProbQuery(pqs []*PreparedQuery, eps float64) error {
 	if e.opts.Measure != MeasurePROUD && e.opts.Measure != MeasureMUNICH {
-		return fmt.Errorf("engine: measure %v does not define match probabilities (use MeasurePROUD or MeasureMUNICH)", e.opts.Measure)
+		return fmt.Errorf("engine: %w", qerr.BadRequestf("measure %v does not define match probabilities (use MeasurePROUD or MeasureMUNICH)", e.opts.Measure))
 	}
 	if err := e.checkPrepared(pqs); err != nil {
 		return err
 	}
 	if math.IsNaN(eps) || eps < 0 {
-		return errors.New("engine: eps must be non-negative")
+		return fmt.Errorf("engine: %w", qerr.BadRequestf("eps = %v must be non-negative", eps))
 	}
 	return nil
 }
@@ -160,10 +161,14 @@ func (e *Engine) checkProbQuery(pqs []*PreparedQuery, eps float64) error {
 // batch, so the inverse-CDF work runs once per call, not per query.
 func (e *Engine) checkTau(tau float64) (float64, error) {
 	if e.opts.Measure == MeasurePROUD {
-		return proud.EpsLimit(tau)
+		lim, err := proud.EpsLimit(tau)
+		if err != nil {
+			return 0, fmt.Errorf("engine: %w", qerr.BadRequestf("%v", err))
+		}
+		return lim, nil
 	}
 	if math.IsNaN(tau) || tau <= 0 || tau > 1 {
-		return 0, fmt.Errorf("engine: MUNICH tau %v outside (0, 1]", tau)
+		return 0, fmt.Errorf("engine: %w", qerr.BadRequestf("MUNICH tau %v outside (0, 1]", tau))
 	}
 	return 0, nil
 }
@@ -172,12 +177,15 @@ func (e *Engine) checkTau(tau float64) (float64, error) {
 // Pr(distance(qi, ci) <= eps) reaches tau, excluding qi, in ascending
 // order — bit-identical to the corresponding naive matcher scan
 // (core.PROUDMatcher / core.MUNICHMatcher with the same estimator options).
+//
+// Legacy surface: ProbRange is a thin wrapper over Run with a background
+// context.
 func (e *Engine) ProbRange(qi int, eps, tau float64) ([]int, error) {
-	res, err := e.ProbRangeBatch([]int{qi}, eps, tau)
+	res, err := e.Run(context.Background(), Request{Measure: e.opts.Measure, Kind: KindProbRange, Index: &qi, Eps: eps, Tau: tau})
 	if err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	return res.IDs, nil
 }
 
 // ProbRangeBatch answers the probabilistic range query for every query
@@ -195,6 +203,17 @@ func (e *Engine) ProbRangeBatch(queries []int, eps, tau float64) ([][]int, error
 // ProbRangePrepared answers the probabilistic range query for every
 // prepared query in one batched, sharded, work-stealing pass.
 func (e *Engine) ProbRangePrepared(pqs []*PreparedQuery, eps, tau float64) ([][]int, error) {
+	return e.probRangePrepared(context.Background(), pqs, eps, tau, nil)
+}
+
+// probRangePrepared is the probabilistic-range execution core: sharded
+// scan under a context, polled at every (query, shard) work item, every
+// PROUD prefix stride and inside the MUNICH refine estimators. emit
+// (nil = none) is invoked with (query position in pqs, candidate) for
+// every accepted candidate as its shard resolves it — emission order is
+// nondeterministic under parallelism; the returned slices are always in
+// ascending position order. A non-nil emit error aborts the scan.
+func (e *Engine) probRangePrepared(ctx context.Context, pqs []*PreparedQuery, eps, tau float64, emit func(q, id int) error) ([][]int, error) {
 	if err := e.checkProbQuery(pqs, eps); err != nil {
 		return nil, err
 	}
@@ -205,9 +224,10 @@ func (e *Engine) ProbRangePrepared(pqs []*PreparedQuery, eps, tau float64) ([][]
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
+	done := ctx.Done()
 	buckets := make([][]int, len(pqs)*numShards)
 
-	err = core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
+	err = core.RunShardedCtx(ctx, len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
 			pq := pqs[q]
@@ -223,15 +243,20 @@ func (e *Engine) ProbRangePrepared(pqs []*PreparedQuery, eps, tau float64) ([][]
 				var ok bool
 				var err error
 				if e.opts.Measure == MeasurePROUD {
-					ok = e.proudAccept(pq, ci, eps, epsLimit)
+					ok, err = e.proudAccept(pq, ci, eps, epsLimit, done)
 				} else {
-					ok, err = e.munichAccept(pq, ci, eps, tau)
+					ok, err = e.munichAccept(pq, ci, eps, tau, done)
 				}
 				if err != nil {
 					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
 				if ok {
 					ids = append(ids, ci)
+					if emit != nil {
+						if err := emit(q, ci); err != nil {
+							return err
+						}
+					}
 				}
 			}
 			buckets[item] = ids
@@ -256,12 +281,15 @@ func (e *Engine) ProbRangePrepared(pqs []*PreparedQuery, eps, tau float64) ([][]
 // Pr(distance(qi, ci) <= eps), excluding qi, sorted by descending
 // probability with ties broken by ascending index — exactly what a naive
 // scan computing every pair probability and sorting returns.
+//
+// Legacy surface: ProbTopK is a thin wrapper over Run with a background
+// context.
 func (e *Engine) ProbTopK(qi int, eps float64, k int) ([]ProbMatch, error) {
-	res, err := e.ProbTopKBatch([]int{qi}, eps, k)
+	res, err := e.Run(context.Background(), Request{Measure: e.opts.Measure, Kind: KindProbTopK, Index: &qi, Eps: eps, K: k})
 	if err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	return res.Matches, nil
 }
 
 // ProbTopKBatch answers the probability-ranked top-k query for every query
@@ -281,8 +309,15 @@ func (e *Engine) ProbTopKBatch(queries []int, eps float64, k int) ([][]ProbMatch
 // ProbTopKPrepared answers the probability-ranked top-k query for every
 // prepared query in one batched, sharded pass.
 func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][]ProbMatch, error) {
+	return e.probTopKPrepared(context.Background(), pqs, eps, k)
+}
+
+// probTopKPrepared is the probability-ranked top-k execution core: sharded
+// scan under a context, polled at every (query, shard) work item, every
+// PROUD prefix stride and inside the MUNICH refine estimators.
+func (e *Engine) probTopKPrepared(ctx context.Context, pqs []*PreparedQuery, eps float64, k int) ([][]ProbMatch, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("engine: k = %d must be positive", k)
+		return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("k = %d must be at least 1", k))
 	}
 	if err := e.checkProbQuery(pqs, eps); err != nil {
 		return nil, err
@@ -290,6 +325,7 @@ func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
+	done := ctx.Done()
 
 	bounds := make([]*sharedMaxBound, len(pqs))
 	for i := range bounds {
@@ -297,7 +333,7 @@ func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][
 	}
 	buckets := make([][]ProbMatch, len(pqs)*numShards)
 
-	err := core.RunSharded(len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
+	err := core.RunShardedCtx(ctx, len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
 			pq := pqs[q]
@@ -319,9 +355,9 @@ func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][
 				var ok bool
 				var err error
 				if e.opts.Measure == MeasurePROUD {
-					p, ok = e.proudProb(pq, ci, eps, cut)
+					p, ok, err = e.proudProb(pq, ci, eps, cut, done)
 				} else {
-					p, ok, err = e.munichProb(pq, ci, eps, cut)
+					p, ok, err = e.munichProb(pq, ci, eps, cut, done)
 				}
 				if err != nil {
 					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
@@ -373,8 +409,9 @@ func (e *Engine) ProbTopKPrepared(pqs []*PreparedQuery, eps float64, k int) ([][
 // the distance moments in exactly proud.Distance's order, stopping as soon
 // as the prefix bounds force the outcome. A completed accumulation applies
 // the same EpsNorm >= epsLimit test as the naive matcher to bit-identical
-// moments.
-func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64) bool {
+// moments. done (nil = never) is polled at every prefix stride, so even a
+// single long accumulation stops promptly on cancellation.
+func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64, done <-chan struct{}) (bool, error) {
 	e.candidates.Add(1)
 	q, c := pq.vec, e.vecs[ci]
 	n := len(q)
@@ -390,28 +427,40 @@ func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64) b
 			mean += mu*mu + varD
 			variance += 2*varD*varD + 4*varD*mu*mu
 		}
-		if t >= n || e.opts.NoPrune {
+		if t >= n {
+			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				e.uncount()
+				return false, qerr.Cancelled(nil)
+			default:
+			}
+		}
+		if e.opts.NoPrune {
 			continue
 		}
 		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
 		switch proud.PrefixDecide(mean, variance, n-t, varD, gap, eps, epsLimit) {
 		case proud.Accept:
 			e.resolvedEarly.Add(1)
-			return true
+			return true, nil
 		case proud.Reject:
 			e.resolvedEarly.Add(1)
-			return false
+			return false, nil
 		}
 	}
 	e.completed.Add(1)
 	d := proud.DistanceDist{Mean: mean, Variance: variance}
-	return d.EpsNorm(eps) >= epsLimit
+	return d.EpsNorm(eps) >= epsLimit, nil
 }
 
 // proudProb computes the exact match probability for one pair, abandoning
 // (ok = false) when the prefix bounds prove the probability cannot reach
-// the current k-th best.
-func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64) (float64, bool) {
+// the current k-th best. done (nil = never) is polled at every prefix
+// stride.
+func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64, done <-chan struct{}) (float64, bool, error) {
 	e.candidates.Add(1)
 	q, c := pq.vec, e.vecs[ci]
 	n := len(q)
@@ -427,26 +476,37 @@ func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64) (float64
 			mean += mu*mu + varD
 			variance += 2*varD*varD + 4*varD*mu*mu
 		}
-		if t >= n || e.opts.NoPrune || math.IsInf(cut, -1) {
+		if t >= n {
+			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				e.uncount()
+				return 0, false, qerr.Cancelled(nil)
+			default:
+			}
+		}
+		if e.opts.NoPrune || math.IsInf(cut, -1) {
 			continue
 		}
 		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
 		if proud.ProbWithinUpper(mean, variance, n-t, varD, gap, eps) < cut-probBoundMargin {
 			e.abandoned.Add(1)
-			return 0, false
+			return 0, false, nil
 		}
 	}
 	e.completed.Add(1)
 	d := proud.DistanceDist{Mean: mean, Variance: variance}
-	return d.ProbWithin(eps), true
+	return d.ProbWithin(eps), true, nil
 }
 
 // munichAccept decides the MUNICH range predicate for one pair. It is
 // munichProb with tau as the exclusion cutoff: an excluded candidate has a
 // probability provably below tau, so it rejects; a resolved one compares
 // exactly as the naive matcher does.
-func (e *Engine) munichAccept(pq *PreparedQuery, ci int, eps, tau float64) (bool, error) {
-	p, ok, err := e.munichProb(pq, ci, eps, tau)
+func (e *Engine) munichAccept(pq *PreparedQuery, ci int, eps, tau float64, done <-chan struct{}) (bool, error) {
+	p, ok, err := e.munichProb(pq, ci, eps, tau, done)
 	return ok && p >= tau, err
 }
 
@@ -459,8 +519,9 @@ func (e *Engine) munichAccept(pq *PreparedQuery, ci int, eps, tau float64) (bool
 // ok = false means the candidate's probability is provably below cut
 // without having been computed. The bounding-interval prune runs in every
 // arm because the naive matcher itself applies it; the other devices are
-// the engine's additions.
-func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64) (float64, bool, error) {
+// the engine's additions. done (nil = never) threads cooperative
+// cancellation into the refine estimators.
+func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64, done <-chan struct{}) (float64, bool, error) {
 	e.candidates.Add(1)
 	if !e.opts.NoPrune && munich.EnvelopeLowerBound(pq.env, e.envs[ci], e.spans) > eps {
 		// No materialisation is within eps: the probability is exactly 0.
@@ -470,6 +531,7 @@ func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64) (float6
 	x, y := pq.sample, *e.snap.Entry(ci).Samples
 	dec, err := munich.Prune(x, y, eps)
 	if err != nil {
+		e.uncount()
 		return 0, false, err
 	}
 	switch dec {
@@ -485,6 +547,7 @@ func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64) (float6
 		if !math.IsInf(cut, -1) && e.opts.MUNICH.ExactFeasible(x, y) {
 			up, err := munich.ProbUpperBound(x, y, eps)
 			if err != nil {
+				e.uncount()
 				return 0, false, err
 			}
 			if up < cut-probBoundMargin {
@@ -494,8 +557,9 @@ func (e *Engine) munichProb(pq *PreparedQuery, ci int, eps, cut float64) (float6
 		}
 		cutoff = cut
 	}
-	p, complete, err := munich.ProbabilityCutoff(x, y, eps, cutoff, e.opts.MUNICH)
+	p, complete, err := munich.ProbabilityCutoffCancel(x, y, eps, cutoff, e.opts.MUNICH, done)
 	if err != nil {
+		e.uncount()
 		return 0, false, err
 	}
 	if !complete { // estimate provably below cut in the estimator's arithmetic

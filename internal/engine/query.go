@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
+	"uncertts/internal/qerr"
 	"uncertts/internal/query"
 	"uncertts/internal/stats"
 	"uncertts/internal/timeseries"
@@ -106,13 +108,13 @@ func (e *Engine) Prepare(q Query) (*PreparedQuery, error) {
 	pq := &PreparedQuery{e: e, self: -1}
 	needValues := e.opts.Measure != MeasureMUNICH
 	if needValues && len(q.Values) != n {
-		return nil, fmt.Errorf("engine: query has %d values, snapshot series have %d", len(q.Values), n)
+		return nil, fmt.Errorf("engine: %w", qerr.LengthMismatchf("query has %d values, snapshot series have %d", len(q.Values), n))
 	}
 	if q.Errors != nil && len(q.Errors) != n {
-		return nil, fmt.Errorf("engine: query has %d error distributions, want %d", len(q.Errors), n)
+		return nil, fmt.Errorf("engine: %w", qerr.LengthMismatchf("query has %d error distributions, want %d", len(q.Errors), n))
 	}
 	if q.Sigma < 0 || math.IsNaN(q.Sigma) {
-		return nil, errors.New("engine: query sigma must be non-negative")
+		return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("query sigma %v must be non-negative", q.Sigma))
 	}
 
 	switch e.opts.Measure {
@@ -151,10 +153,10 @@ func (e *Engine) Prepare(q Query) (*PreparedQuery, error) {
 		pq.varD = qSigma*qSigma + cSigma*cSigma
 	case MeasureMUNICH:
 		if q.Samples == nil {
-			return nil, errors.New("engine: MeasureMUNICH queries need a sample model (Query.Samples)")
+			return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("MeasureMUNICH queries need a sample model (Query.Samples)"))
 		}
 		if len(q.Samples) != n {
-			return nil, fmt.Errorf("engine: query sample model has %d timestamps, want %d", len(q.Samples), n)
+			return nil, fmt.Errorf("engine: %w", qerr.LengthMismatchf("query sample model has %d timestamps, want %d", len(q.Samples), n))
 		}
 		pq.sample = uncertain.SampleSeries{Samples: q.Samples, ID: -1}
 		if err := pq.sample.Validate(); err != nil {
@@ -162,7 +164,7 @@ func (e *Engine) Prepare(q Query) (*PreparedQuery, error) {
 		}
 		pq.env = munich.BuildEnvelope(pq.sample, e.segments)
 	default:
-		return nil, fmt.Errorf("engine: unknown measure %v", e.opts.Measure)
+		return nil, fmt.Errorf("engine: %w: %v", qerr.ErrUnknownMeasure, e.opts.Measure)
 	}
 	return pq, nil
 }
@@ -222,7 +224,7 @@ func (pq *PreparedQuery) TopK(k int) ([]query.Neighbor, error) {
 // Range returns the snapshot positions of every series within eps of the
 // prepared query, in ascending order.
 func (pq *PreparedQuery) Range(eps float64) ([]int, error) {
-	return pq.e.rangePrepared(pq, eps)
+	return pq.e.rangePrepared(context.Background(), pq, eps, nil)
 }
 
 // ProbRange returns the snapshot positions of every candidate whose match

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"uncertts/internal/distance"
+	"uncertts/internal/qerr"
 	"uncertts/internal/stats"
 	"uncertts/internal/uncertain"
 )
@@ -121,6 +122,17 @@ func Probability(x, y uncertain.SampleSeries, eps float64, opts Options) (float6
 // way; cutoff = -Inf never abandons. The exact estimator has no prefix
 // structure (meet-in-the-middle) and always completes.
 func ProbabilityCutoff(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options) (float64, bool, error) {
+	return ProbabilityCutoffCancel(x, y, eps, cutoff, opts, nil)
+}
+
+// ProbabilityCutoffCancel is ProbabilityCutoff with cooperative
+// cancellation: the combination counting polls done between convolution
+// steps, Monte Carlo sample batches and exact-enumeration blocks and, once
+// done is closed, returns an error wrapping qerr.ErrCancelled — so even a
+// single slow refine stops within a sliver of its runtime instead of
+// holding its executor shard. A nil done never cancels and computes
+// exactly ProbabilityCutoff.
+func ProbabilityCutoffCancel(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options, done <-chan struct{}) (float64, bool, error) {
 	if err := x.Validate(); err != nil {
 		return 0, false, err
 	}
@@ -139,23 +151,40 @@ func ProbabilityCutoff(x, y uncertain.SampleSeries, eps, cutoff float64, opts Op
 		if opts.Estimator != EstimatorMonteCarlo && opts.Estimator != EstimatorAuto {
 			return 0, false, ErrNeedMonteCarlo
 		}
-		return monteCarloProbability(x, y, eps, cutoff, opts)
+		return monteCarloProbability(x, y, eps, cutoff, opts, done)
 	}
 
 	switch opts.Estimator {
 	case EstimatorMonteCarlo:
-		return monteCarloProbability(x, y, eps, cutoff, opts)
+		return monteCarloProbability(x, y, eps, cutoff, opts, done)
 	case EstimatorExact:
-		p, err := exactProbability(x, y, eps, opts.MaxExactCombos)
+		p, err := exactProbability(x, y, eps, opts.MaxExactCombos, done)
 		return p, err == nil, err
 	case EstimatorConvolution:
-		return convolutionProbability(x, y, eps, cutoff, opts.Bins)
+		return convolutionProbability(x, y, eps, cutoff, opts.Bins, done)
 	default: // Auto
-		p, err := exactProbability(x, y, eps, opts.MaxExactCombos)
+		p, err := exactProbability(x, y, eps, opts.MaxExactCombos, done)
 		if err == nil {
 			return p, true, nil
 		}
-		return convolutionProbability(x, y, eps, cutoff, opts.Bins)
+		if errors.Is(err, qerr.ErrCancelled) {
+			return 0, false, err
+		}
+		return convolutionProbability(x, y, eps, cutoff, opts.Bins, done)
+	}
+}
+
+// cancelled polls a done channel without blocking; a nil channel never
+// reports cancellation.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -335,7 +364,7 @@ func squaredDiffMultiset(x, y uncertain.SampleSeries, i int) []float64 {
 // exactProbability counts combinations with total squared distance <= eps^2
 // using meet-in-the-middle. If the enumeration would exceed maxCombos per
 // half it returns an error; EstimatorAuto callers fall back to convolution.
-func exactProbability(x, y uncertain.SampleSeries, eps float64, maxCombos int) (float64, error) {
+func exactProbability(x, y uncertain.SampleSeries, eps float64, maxCombos int, done <-chan struct{}) (float64, error) {
 	n := x.Len()
 	multisets := make([][]float64, n)
 	for i := 0; i < n; i++ {
@@ -350,10 +379,16 @@ func exactProbability(x, y uncertain.SampleSeries, eps float64, maxCombos int) (
 	}
 	sumsA := enumerateSums(multisets[:split])
 	sumsB := enumerateSums(multisets[split:])
+	if cancelled(done) {
+		return 0, qerr.Cancelled(nil)
+	}
 	sort.Float64s(sumsB)
 	eps2 := eps * eps
 	var count uint64
-	for _, a := range sumsA {
+	for ai, a := range sumsA {
+		if ai%4096 == 4095 && cancelled(done) {
+			return 0, qerr.Cancelled(nil)
+		}
 		// Number of b with a + b <= eps^2.
 		idx := sort.SearchFloat64s(sumsB, math.Nextafter(eps2-a, math.Inf(1)))
 		count += uint64(idx)
@@ -431,7 +466,7 @@ func binnedCDF(probs []float64, width, eps2 float64) float64 {
 // the CDF at eps^2 is non-increasing across steps: once a partial readout
 // falls below the cutoff the final estimate must too, and the scan
 // abandons (complete = false).
-func convolutionProbability(x, y uncertain.SampleSeries, eps, cutoff float64, bins int) (float64, bool, error) {
+func convolutionProbability(x, y uncertain.SampleSeries, eps, cutoff float64, bins int, done <-chan struct{}) (float64, bool, error) {
 	n := x.Len()
 	// Upper bound of the total squared distance fixes the histogram domain.
 	var maxSum float64
@@ -455,6 +490,9 @@ func convolutionProbability(x, y uncertain.SampleSeries, eps, cutoff float64, bi
 	probs[0] = 1
 	next := make([]float64, bins)
 	for step, m := range multisets {
+		if cancelled(done) {
+			return 0, false, qerr.Cancelled(nil)
+		}
 		for i := range next {
 			next[i] = 0
 		}
@@ -485,7 +523,7 @@ func convolutionProbability(x, y uncertain.SampleSeries, eps, cutoff float64, bi
 // distances. The tally abandons (complete = false) once even an all-hit
 // remainder could not lift the estimate to the cutoff — an integer-exact
 // test, so the implied threshold decision matches the full run's.
-func monteCarloProbability(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options) (float64, bool, error) {
+func monteCarloProbability(x, y uncertain.SampleSeries, eps, cutoff float64, opts Options, done <-chan struct{}) (float64, bool, error) {
 	rng := stats.SplitRand(opts.Seed, int64(x.ID)<<20|int64(y.ID))
 	n := x.Len()
 	total := opts.MonteCarloSamples
@@ -493,6 +531,9 @@ func monteCarloProbability(x, y uncertain.SampleSeries, eps, cutoff float64, opt
 	bufY := make([]float64, n)
 	hits := 0
 	for s := 0; s < total; s++ {
+		if s%256 == 255 && cancelled(done) {
+			return 0, false, qerr.Cancelled(nil)
+		}
 		for i := 0; i < n; i++ {
 			bufX[i] = x.Samples[i][rng.Intn(len(x.Samples[i]))]
 			bufY[i] = y.Samples[i][rng.Intn(len(y.Samples[i]))]

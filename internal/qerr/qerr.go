@@ -1,0 +1,61 @@
+// Package qerr defines the typed sentinel errors of the query surface.
+// Every error the declarative query API (engine.Run and the HTTP server
+// built on it) returns wraps exactly one of these sentinels, so callers
+// classify failures with errors.Is instead of matching message strings,
+// and the server maps them to HTTP status codes mechanically.
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrUnknownMeasure marks a measure name or value outside the seven
+	// the engine serves (euclidean, uma, uema, dtw, dust, proud, munich).
+	ErrUnknownMeasure = errors.New("unknown measure")
+	// ErrBadRequest marks a structurally invalid request: missing target,
+	// k < 1, tau outside the measure's domain, a query kind the measure
+	// does not serve, and so on. The wrapped message names the field.
+	ErrBadRequest = errors.New("bad request")
+	// ErrLengthMismatch marks an ad-hoc query series whose geometry does
+	// not match the corpus (values, error model or sample model length).
+	ErrLengthMismatch = errors.New("length mismatch")
+	// ErrCancelled marks a query stopped by its context — cancellation or
+	// deadline — before completing. Errors carrying it also carry the
+	// context's own error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCancelled = errors.New("query cancelled")
+)
+
+// BadRequestf builds a field-specific validation error wrapping
+// ErrBadRequest.
+func BadRequestf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// LengthMismatchf builds a field-specific geometry error wrapping
+// ErrLengthMismatch.
+func LengthMismatchf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrLengthMismatch, fmt.Sprintf(format, args...))
+}
+
+// Cancelled wraps a context's error so the result matches both
+// ErrCancelled and the context error (Canceled or DeadlineExceeded) under
+// errors.Is. A nil cause (a cancellation detected by a kernel whose
+// context has not resolved yet) falls back to context.Canceled.
+func Cancelled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrCancelled, cause)
+}
+
+// IsCancellation reports whether err stems from context cancellation or an
+// expired deadline, whichever layer reported it first.
+func IsCancellation(err error) bool {
+	return errors.Is(err, ErrCancelled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

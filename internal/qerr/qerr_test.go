@@ -1,0 +1,49 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelWrapping(t *testing.T) {
+	err := BadRequestf("k = %d must be at least 1", 0)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Errorf("BadRequestf should wrap ErrBadRequest, got %v", err)
+	}
+	if want := "bad request: k = 0 must be at least 1"; err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+
+	err = LengthMismatchf("query has %d values, corpus series have %d", 9, 16)
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("LengthMismatchf should wrap ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestCancelledCarriesBothSentinels(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := Cancelled(cause)
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("Cancelled(%v) should wrap ErrCancelled", cause)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("Cancelled(%v) should wrap the context error", cause)
+		}
+		if !IsCancellation(err) {
+			t.Errorf("IsCancellation(Cancelled(%v)) = false", cause)
+		}
+	}
+	if err := Cancelled(nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("Cancelled(nil) should default to context.Canceled, got %v", err)
+	}
+	// A deeper wrap still classifies.
+	deep := fmt.Errorf("engine: query 3: %w", Cancelled(context.Canceled))
+	if !IsCancellation(deep) || !errors.Is(deep, ErrCancelled) {
+		t.Errorf("wrapped cancellation lost its sentinels: %v", deep)
+	}
+	if IsCancellation(errors.New("boom")) {
+		t.Error("IsCancellation should reject unrelated errors")
+	}
+}

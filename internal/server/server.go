@@ -1,11 +1,23 @@
 // Package server exposes a corpus and its query engines over HTTP/JSON —
 // the serving tier that turns the batch reproduction into a system:
 //
-//	POST /query   similarity queries (topk, range, probtopk, probrange)
-//	              across every measure, against resident series (by stable
-//	              corpus ID) or ad-hoc series shipped in the request;
-//	POST /series  ingestion and deletion;
-//	GET  /stats   corpus and per-measure engine accounting.
+//	POST /query         similarity queries (topk, range, probtopk,
+//	                    probrange) across every measure, against resident
+//	                    series (by stable corpus ID) or ad-hoc series
+//	                    shipped in the request;
+//	POST /query/stream  the same queries with incremental NDJSON results:
+//	                    one record per confirmed neighbour, then a final
+//	                    stats record;
+//	POST /series        ingestion and deletion;
+//	GET  /stats         corpus and per-measure engine accounting.
+//
+// Every query parses straight into one declarative engine.Request and
+// executes through Engine.Run under the HTTP request's context: a client
+// that hangs up cancels its query (the executor drains promptly), and a
+// per-request timeout_ms field bounds the work server-side. Failures are
+// typed — the engine returns qerr sentinels, which map mechanically to
+// HTTP status codes (400 for validation, 404 for unknown IDs, 504 for
+// expired deadlines).
 //
 // Requests execute on the engine's work-stealing executor with a
 // per-request worker budget, against whatever corpus snapshot is current
@@ -22,6 +34,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,10 +42,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"uncertts/internal/corpus"
 	"uncertts/internal/engine"
 	"uncertts/internal/munich"
+	"uncertts/internal/qerr"
 	"uncertts/internal/stats"
 )
 
@@ -44,6 +59,10 @@ type Options struct {
 	DefaultWorkers int
 	// MaxWorkers caps any request's worker budget (0 = GOMAXPROCS).
 	MaxWorkers int
+	// DefaultTimeout bounds a query that does not carry its own
+	// timeout_ms (0 = no server-side bound). Expiry cancels the query's
+	// context, drains the executor and answers 504.
+	DefaultTimeout time.Duration
 	// Band is the Sakoe-Chiba half-width DTW engines use (0 = length/10).
 	Band int
 	// MUNICH configures the probability estimator of MUNICH engines.
@@ -90,10 +109,12 @@ func New(c *corpus.Corpus, opts Options) *Server {
 // Corpus returns the corpus the server mutates and queries.
 func (s *Server) Corpus() *corpus.Corpus { return s.c }
 
-// Handler returns the HTTP handler serving /query, /series and /stats.
+// Handler returns the HTTP handler serving /query, /query/stream, /series
+// and /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -132,22 +153,26 @@ func (s *Server) engineFor(m engine.Measure) (*engine.Engine, error) {
 	return e, nil
 }
 
-// measureStats returns the cumulative counters for every measure: the
-// frozen baseline plus the live counters of the current and most recently
-// retired engines.
+// cumulative folds one measure's accounting: the frozen baseline plus the
+// live counters of the current and most recently retired engines.
+func (me *measureEngines) cumulative() engine.Stats {
+	st := me.baseline
+	if me.prev != nil {
+		st = st.Merge(me.prev.Stats())
+	}
+	if me.cur != nil {
+		st = st.Merge(me.cur.Stats())
+	}
+	return st
+}
+
+// measureStats returns the cumulative counters for every measure.
 func (s *Server) measureStats() map[string]engine.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]engine.Stats)
 	for m, me := range s.engines {
-		st := me.baseline
-		if me.prev != nil {
-			st = st.Merge(me.prev.Stats())
-		}
-		if me.cur != nil {
-			st = st.Merge(me.cur.Stats())
-		}
-		out[m.String()] = st
+		out[m.String()] = me.cumulative()
 	}
 	return out
 }
@@ -181,7 +206,9 @@ func (sj SeriesJSON) toCorpus() (corpus.Series, error) {
 	return cs, nil
 }
 
-// QueryRequest is the wire form of POST /query.
+// QueryRequest is the wire form of POST /query and /query/stream — the
+// JSON rendering of one declarative engine.Request plus the transport
+// concerns (stable-ID target resolution, per-request timeout).
 type QueryRequest struct {
 	// Measure is one of euclidean, uma, uema, dtw, dust, proud, munich.
 	Measure string `json:"measure"`
@@ -202,6 +229,15 @@ type QueryRequest struct {
 	// Workers is the per-request worker budget (0 = the server default,
 	// capped at the server maximum).
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds this query's execution in milliseconds (0 = the
+	// server's DefaultTimeout). On expiry the executor drains and the
+	// request answers 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Offset drops the first Offset result entries (after the final
+	// deterministic ordering).
+	Offset int `json:"offset,omitempty"`
+	// Limit truncates the result list after Limit entries (0 = all).
+	Limit int `json:"limit,omitempty"`
 }
 
 // NeighborJSON is one topk answer entry.
@@ -225,6 +261,9 @@ type QueryResponse struct {
 	Neighbors []NeighborJSON `json:"neighbors,omitempty"`
 	IDs       []int          `json:"ids,omitempty"`
 	Matches   []MatchJSON    `json:"matches,omitempty"`
+	// Total is the full answer size before any offset/limit window was
+	// applied, so paginating clients know when to stop.
+	Total int `json:"total"`
 }
 
 // httpError carries a status code out of a handler helper.
@@ -239,6 +278,25 @@ func badRequest(format string, args ...interface{}) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// statusFor maps an error from the query path to its HTTP status: the
+// qerr sentinels carry the classification (validation 400, expired
+// deadline 504, client-side cancellation 499 — the nginx convention, the
+// client is gone anyway), and explicit httpErrors (404 for unknown IDs)
+// pass through.
+func statusFor(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case qerr.IsCancellation(err):
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -249,91 +307,237 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.Query(req)
+	// r.Context() is cancelled when the client hangs up, so a dead
+	// connection stops its query; timeout_ms adds the server-side bound.
+	ctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
+	resp, err := s.Run(ctx, req)
 	if err != nil {
-		status := http.StatusBadRequest
-		var he *httpError
-		if errors.As(err, &he) {
-			status = he.status
-		}
-		http.Error(w, err.Error(), status)
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	writeJSON(w, resp)
 }
 
-// Query executes one query request against the current snapshot. It is
-// exported so in-process callers (tests, embedding applications) can skip
-// HTTP.
-func (s *Server) Query(req QueryRequest) (*QueryResponse, error) {
+// queryContext derives the execution context of one query from the
+// transport context: the request's own timeout_ms first, the server
+// default otherwise.
+func (s *Server) queryContext(parent context.Context, req QueryRequest) (context.Context, context.CancelFunc) {
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, timeout)
+}
+
+// plan resolves a wire request into the engine serving its measure, the
+// snapshot the answer is against, and the declarative engine request
+// (stable IDs translated to snapshot positions).
+func (s *Server) plan(req QueryRequest) (*engine.Engine, *corpus.Snapshot, engine.Request, error) {
+	if req.TimeoutMS < 0 {
+		return nil, nil, engine.Request{}, badRequest("timeout_ms = %d must be non-negative (0 = the server default)", req.TimeoutMS)
+	}
 	m, err := engine.ParseMeasure(req.Measure)
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, nil, engine.Request{}, err
+	}
+	kind, err := engine.ParseKind(req.Type)
+	if err != nil {
+		return nil, nil, engine.Request{}, err
 	}
 	e, err := s.engineFor(m)
 	if err != nil {
-		return nil, badRequest("building %s engine: %v", m, err)
+		return nil, nil, engine.Request{}, fmt.Errorf("building %s engine: %w", m, err)
 	}
 	snap := e.Snapshot()
-
-	var pq *engine.PreparedQuery
+	ereq := engine.Request{
+		Measure: m,
+		Kind:    kind,
+		K:       req.K,
+		Eps:     req.Eps,
+		Tau:     req.Tau,
+		Workers: s.clampWorkers(req.Workers),
+		Offset:  req.Offset,
+		Limit:   req.Limit,
+	}
 	switch {
 	case req.ID != nil && req.Series != nil:
-		return nil, badRequest("id and series are mutually exclusive")
+		return nil, nil, engine.Request{}, badRequest("id and series are mutually exclusive")
 	case req.ID != nil:
 		pos, ok := snap.PosOf(*req.ID)
 		if !ok {
-			return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no series with ID %d", *req.ID)}
+			return nil, nil, engine.Request{}, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no series with ID %d", *req.ID)}
 		}
-		pq, err = e.PrepareIndex(pos)
+		ereq.Index = &pos
 	case req.Series != nil:
-		pq, err = e.Prepare(engine.Query{
+		ereq.AdHoc = &engine.Query{
 			Values:  req.Series.Values,
 			Sigma:   req.Series.Sigma,
 			Samples: req.Series.Samples,
-		})
+		}
 	default:
-		return nil, badRequest("the query needs an id or a series")
+		return nil, nil, engine.Request{}, badRequest("the query needs an id or a series")
 	}
-	if err != nil {
-		return nil, badRequest("preparing query: %v", err)
-	}
-	pq.Workers = s.clampWorkers(req.Workers)
+	return e, snap, ereq, nil
+}
 
-	resp := &QueryResponse{Measure: m.String(), Type: req.Type, Epoch: snap.Epoch()}
-	switch req.Type {
-	case "topk":
-		nn, err := pq.TopK(req.K)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		for _, n := range nn {
-			resp.Neighbors = append(resp.Neighbors, NeighborJSON{ID: snap.IDAt(n.ID), Distance: n.Distance})
-		}
-	case "range":
-		ids, err := pq.Range(req.Eps)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		resp.IDs = stableIDs(snap, ids)
-	case "probrange":
-		ids, err := pq.ProbRange(req.Eps, req.Tau)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		resp.IDs = stableIDs(snap, ids)
-	case "probtopk":
-		ms, err := pq.ProbTopK(req.Eps, req.K)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		for _, pm := range ms {
-			resp.Matches = append(resp.Matches, MatchJSON{ID: snap.IDAt(pm.ID), Prob: pm.Prob})
-		}
-	default:
-		return nil, badRequest("unknown query type %q (want topk, range, probtopk or probrange)", req.Type)
+// Run executes one query request against the current snapshot under ctx.
+// It is exported so in-process callers (tests, embedding applications)
+// can skip HTTP; cancellation and deadline semantics are exactly those of
+// engine.Run.
+func (s *Server) Run(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	e, snap, ereq, err := s.plan(req)
+	if err != nil {
+		return nil, err
 	}
-	return resp, nil
+	res, err := e.Run(ctx, ereq)
+	if err != nil {
+		return nil, err
+	}
+	return toResponse(snap, ereq.Measure, res), nil
+}
+
+// Query executes one query request with no cancellation — the legacy
+// in-process surface, equivalent to Run with a background context.
+func (s *Server) Query(req QueryRequest) (*QueryResponse, error) {
+	return s.Run(context.Background(), req)
+}
+
+// toResponse translates an engine result (snapshot positions) into the
+// wire response (stable corpus IDs, normalized measure and kind names).
+func toResponse(snap *corpus.Snapshot, m engine.Measure, res *engine.Result) *QueryResponse {
+	resp := &QueryResponse{
+		Measure: m.String(),
+		Type:    res.Kind.String(),
+		Epoch:   snap.Epoch(),
+		Total:   res.Total,
+	}
+	for _, n := range res.Neighbors {
+		resp.Neighbors = append(resp.Neighbors, NeighborJSON{ID: snap.IDAt(n.ID), Distance: n.Distance})
+	}
+	for _, pm := range res.Matches {
+		resp.Matches = append(resp.Matches, MatchJSON{ID: snap.IDAt(pm.ID), Prob: pm.Prob})
+	}
+	if res.IDs != nil {
+		resp.IDs = stableIDs(snap, res.IDs)
+	}
+	return resp
+}
+
+// StreamItemJSON is one incremental /query/stream record: the stable
+// corpus ID of a confirmed neighbour plus its distance (topk, range) or
+// match probability (probtopk); probrange items carry the ID alone.
+type StreamItemJSON struct {
+	ID       int      `json:"id"`
+	Distance *float64 `json:"distance,omitempty"`
+	Prob     *float64 `json:"prob,omitempty"`
+}
+
+// StreamDoneJSON is the final /query/stream record: a summary of the
+// completed query plus the measure's cumulative engine stats.
+type StreamDoneJSON struct {
+	Done    bool   `json:"done"`
+	Measure string `json:"measure"`
+	Type    string `json:"type"`
+	Epoch   uint64 `json:"epoch"`
+	// Total is the number of item records streamed before this one.
+	Total int `json:"total"`
+	// Stats is the measure's cumulative engine accounting (the same
+	// counters /stats reports), rendered as its one-line summary.
+	Stats string `json:"stats"`
+}
+
+// handleQueryStream serves POST /query/stream: the same request shape as
+// /query, answered as NDJSON — one StreamItemJSON per confirmed result
+// (range kinds stream mid-scan as shards confirm matches, in
+// nondeterministic order; top-k kinds stream the ranked answer as it is
+// confirmed at the merge), then one StreamDoneJSON. The offset/limit
+// window is a /query concern (it is defined on the final sorted answer,
+// which a mid-scan stream does not have yet), so stream requests carrying
+// one are rejected rather than silently unwindowed. Errors before the
+// first record are plain HTTP errors; a failure mid-stream terminates the
+// body with an {"error": ...} record instead of the final done record.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Offset != 0 || req.Limit != 0 {
+		http.Error(w, "offset/limit do not apply to /query/stream (the stream delivers every confirmed match; use /query for pagination)", http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
+	e, snap, ereq, err := s.plan(req)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	kind := ereq.Kind
+	streamed := 0
+	emit := func(it engine.Item) error {
+		rec := StreamItemJSON{ID: snap.IDAt(it.ID)}
+		switch kind {
+		case engine.KindTopK, engine.KindRange:
+			d := it.Distance
+			rec.Distance = &d
+		case engine.KindProbTopK:
+			p := it.Prob
+			rec.Prob = &p
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		streamed++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if _, err := e.RunStream(ctx, ereq, emit); err != nil {
+		if streamed == 0 {
+			http.Error(w, err.Error(), statusFor(err))
+			return
+		}
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = enc.Encode(StreamDoneJSON{
+		Done:    true,
+		Measure: ereq.Measure.String(),
+		Type:    kind.String(),
+		Epoch:   snap.Epoch(),
+		Total:   streamed,
+		Stats:   s.statsFor(ereq.Measure).String(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// statsFor returns one measure's cumulative counters — the same
+// aggregation /stats reports, so a stream's done record agrees with
+// /stats even across engine rebuilds.
+func (s *Server) statsFor(m engine.Measure) engine.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me := s.engines[m]
+	if me == nil {
+		return engine.Stats{}
+	}
+	return me.cumulative()
 }
 
 func stableIDs(snap *corpus.Snapshot, positions []int) []int {

@@ -30,16 +30,24 @@
 //
 // Beyond the batch evaluation, the package serves queries from a mutable
 // corpus with snapshot isolation (see NewCorpus, NewQueryEngineFromSnapshot,
-// NewQueryServer):
+// NewQueryServer). Queries are declarative: build one QueryRequest and
+// execute it with QueryEngine.Run under a context whose cancellation and
+// deadline the whole stack honours:
 //
 //	c := uncertts.NewCorpus(uncertts.CorpusConfig{ReportedSigma: 0.6})
 //	id, _ := c.Insert(uncertts.CorpusSeries{Values: obs})
 //	e, _ := uncertts.NewQueryEngineFromSnapshot(c.Snapshot(), uncertts.QueryEngineOptions{})
-//	pq, _ := e.Prepare(uncertts.AdHocQuery{Values: someVector})
-//	nn, _ := pq.TopK(5)
-//	_ = id
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, _ := e.Run(ctx, uncertts.QueryRequest{
+//		Kind:  uncertts.QueryTopK,
+//		AdHoc: &uncertts.AdHocQuery{Values: someVector},
+//		K:     5,
+//	})
+//	_, _ = id, res.Neighbors
 //
-// cmd/uncertserve exposes the same stack over HTTP/JSON.
+// cmd/uncertserve exposes the same stack over HTTP/JSON, including a
+// streaming NDJSON endpoint (/query/stream) and per-request timeouts.
 //
 // The cmd/uncertbench binary regenerates any figure:
 //
@@ -60,6 +68,7 @@ import (
 	"uncertts/internal/experiments"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
+	"uncertts/internal/qerr"
 	"uncertts/internal/query"
 	"uncertts/internal/server"
 	"uncertts/internal/stats"
@@ -376,18 +385,100 @@ type AdHocQuery = engine.Query
 // per-request worker budget.
 type PreparedQuery = engine.PreparedQuery
 
+// ---- Declarative query API ----
+
+// QueryRequest is one declarative query against a QueryEngine: the kind
+// (topk, range, probtopk, probrange) and its parameters, the target (a
+// resident snapshot position via Index, or an AdHocQuery via AdHoc), a
+// per-request worker budget and an Offset/Limit pagination window. Build
+// one and hand it to QueryEngine.Run:
+//
+//	qi := 3
+//	res, err := e.Run(ctx, uncertts.QueryRequest{
+//		Measure: uncertts.MeasureDTW,
+//		Kind:    uncertts.QueryTopK,
+//		Index:   &qi,
+//		K:       5,
+//	})
+//
+// Run validates the request up front with field-specific errors (wrapping
+// the Err* sentinels below) and honours ctx throughout: cancellation or an
+// expired deadline stops the scan promptly — the executor polls the
+// context at every work-item boundary and the long kernels (DTW rows,
+// MUNICH refines, PROUD prefix accumulation) poll it mid-computation.
+// Results are bit-identical to the legacy per-shape methods (TopK, Range,
+// ProbTopK, ProbRange), which remain as thin wrappers over Run.
+type QueryRequest = engine.Request
+
+// QueryResult is the answer to one QueryRequest: exactly one of Neighbors
+// (topk), IDs (range/probrange) or Matches (probtopk) is populated, plus
+// Total (the answer size before the Offset/Limit window).
+type QueryResult = engine.Result
+
+// QueryKind is the query family of a QueryRequest.
+type QueryKind = engine.Kind
+
+// Query kinds.
+const (
+	QueryTopK      = engine.KindTopK
+	QueryRange     = engine.KindRange
+	QueryProbTopK  = engine.KindProbTopK
+	QueryProbRange = engine.KindProbRange
+)
+
+// QueryStreamItem is one incremental result delivered by
+// QueryEngine.RunStream: candidate position plus distance (topk/range) or
+// probability (probtopk).
+type QueryStreamItem = engine.Item
+
+// ParseQueryKind resolves a case-insensitive kind name ("topk", "range",
+// "probtopk", "probrange").
+func ParseQueryKind(name string) (QueryKind, error) { return engine.ParseKind(name) }
+
+// ParseQueryMeasure resolves a case-insensitive measure name ("euclidean",
+// "uma", "uema", "dtw", "dust", "proud", "munich").
+func ParseQueryMeasure(name string) (QueryMeasure, error) { return engine.ParseMeasure(name) }
+
+// Typed sentinel errors of the query surface. Every validation or
+// cancellation failure out of QueryEngine.Run (and the HTTP server built
+// on it) wraps exactly one of these, so callers classify with errors.Is:
+//
+//	res, err := e.Run(ctx, req)
+//	switch {
+//	case errors.Is(err, uncertts.ErrQueryCancelled): // ctx cancelled or deadline hit
+//	case errors.Is(err, uncertts.ErrBadRequest):     // invalid field, message names it
+//	}
+var (
+	// ErrUnknownMeasure marks a measure outside the seven the engine
+	// serves.
+	ErrUnknownMeasure = qerr.ErrUnknownMeasure
+	// ErrBadRequest marks a structurally invalid request (missing target,
+	// k < 1, tau outside the measure's domain, ...).
+	ErrBadRequest = qerr.ErrBadRequest
+	// ErrLengthMismatch marks an ad-hoc query whose geometry does not
+	// match the corpus.
+	ErrLengthMismatch = qerr.ErrLengthMismatch
+	// ErrQueryCancelled marks a query stopped by its context; errors
+	// carrying it also match context.Canceled / context.DeadlineExceeded
+	// under errors.Is.
+	ErrQueryCancelled = qerr.ErrCancelled
+)
+
 // ---- HTTP query server ----
 
 // QueryServer serves similarity queries over a corpus via HTTP/JSON:
 // POST /query (topk, range, probtopk, probrange across all measures, by
-// resident series ID or ad-hoc series), POST /series (ingest/delete) and
-// GET /stats. Concurrent requests execute on the engine's work-stealing
-// executor with per-request worker budgets; in-flight queries keep the
-// corpus snapshot they started on.
+// resident series ID or ad-hoc series), POST /query/stream (the same
+// queries with incremental NDJSON results), POST /series (ingest/delete)
+// and GET /stats. Every query executes under the HTTP request's context —
+// a client hang-up cancels the query and drains the executor — with an
+// optional per-request timeout_ms. Concurrent requests execute on the
+// engine's work-stealing executor with per-request worker budgets;
+// in-flight queries keep the corpus snapshot they started on.
 type QueryServer = server.Server
 
 // QueryServerOptions configures a QueryServer (per-request worker budgets,
-// DTW band, MUNICH estimator).
+// default query timeout, DTW band, MUNICH estimator).
 type QueryServerOptions = server.Options
 
 // NewQueryServer returns a query server over the corpus; mount Handler()
