@@ -11,11 +11,18 @@
 // plotted in the corresponding figure of the paper.
 //
 // The -bench mode times one batched query per measure through the pruned
-// engine and reports ns/op next to the pruning counters; -json switches
-// the report to machine-readable JSON so the perf trajectory can be
-// tracked across changes (the repository keeps baselines as BENCH_*.json):
+// engine and reports ns/op next to the pruning counters, plus the
+// durability subsystem's throughput (WAL ingest, WAL replay on recovery,
+// checkpoint load); -json switches the report to machine-readable JSON so
+// the perf trajectory can be tracked across changes (the repository keeps
+// baselines as BENCH_*.json):
 //
 //	uncertbench -bench -scale small -json > BENCH.json
+//
+// Two regression gates ride the bench for CI: -wrapper-max bounds the
+// declarative Engine.Run wrapper against the direct prepared path, and
+// -replay-max bounds WAL replay against fresh ingest (replay rebuilds the
+// same artifacts and must stay in the same ballpark).
 package main
 
 import (
@@ -30,9 +37,11 @@ import (
 	"time"
 
 	"uncertts/internal/core"
+	"uncertts/internal/corpus"
 	"uncertts/internal/engine"
 	"uncertts/internal/experiments"
 	"uncertts/internal/munich"
+	"uncertts/internal/store"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
 )
@@ -43,15 +52,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("uncertbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment to run (fig4..fig17, chisquare, topk, classify, or 'all')")
-		scale    = fs.String("scale", "small", "workload scale: small, medium or full")
-		seed     = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical tables")
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		outDir   = fs.String("out", "", "also write each table as a TSV file into this directory")
-		bench    = fs.Bool("bench", false, "benchmark the query engine (one batched query per measure) instead of running experiments")
-		jsonOut  = fs.Bool("json", false, "emit -bench results as JSON (machine-readable; requires -bench)")
-		benchTau = fs.Float64("tau", 0.1, "probability threshold of the -bench probabilistic queries")
-		wrapMax  = fs.Float64("wrapper-max", 0, "fail if any measure's Run-path ns/op exceeds wrapper-max times the direct path (0 = no check; requires -bench)")
+		exp       = fs.String("exp", "all", "experiment to run (fig4..fig17, chisquare, topk, classify, or 'all')")
+		scale     = fs.String("scale", "small", "workload scale: small, medium or full")
+		seed      = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical tables")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		outDir    = fs.String("out", "", "also write each table as a TSV file into this directory")
+		bench     = fs.Bool("bench", false, "benchmark the query engine (one batched query per measure) instead of running experiments")
+		jsonOut   = fs.Bool("json", false, "emit -bench results as JSON (machine-readable; requires -bench)")
+		benchTau  = fs.Float64("tau", 0.1, "probability threshold of the -bench probabilistic queries")
+		wrapMax   = fs.Float64("wrapper-max", 0, "fail if any measure's Run-path ns/op exceeds wrapper-max times the direct path (0 = no check; requires -bench)")
+		replayMax = fs.Float64("replay-max", 0, "fail if WAL replay ns/series exceeds replay-max times ingest ns/series (0 = no check; requires -bench)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +82,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *wrapMax < 0 {
 		return fmt.Errorf("-wrapper-max = %v must be non-negative", *wrapMax)
 	}
+	if *replayMax != 0 && !*bench {
+		return fmt.Errorf("-replay-max requires -bench")
+	}
+	if *replayMax < 0 {
+		return fmt.Errorf("-replay-max = %v must be non-negative", *replayMax)
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
@@ -81,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *benchTau <= 0 || *benchTau >= 1 {
 			return fmt.Errorf("-tau = %v outside (0, 1)", *benchTau)
 		}
-		return runBench(stdout, stderr, sc, *seed, *benchTau, *jsonOut, *wrapMax)
+		return runBench(stdout, stderr, sc, *seed, *benchTau, *jsonOut, *wrapMax, *replayMax)
 	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed}
 
@@ -147,6 +163,29 @@ type BenchResult struct {
 	PrunedFraction   float64 `json:"pruned_fraction"`
 }
 
+// StoreBenchResult is the machine-readable record of the durability
+// subsystem's throughput on the bench workload: the cost of acknowledging
+// one series through the write-ahead log, the cost of replaying one series
+// from the log on recovery, and the cost of loading one series from a
+// checkpoint (each includes rebuilding the derived index artifacts, which
+// dominates — the on-disk format's own overhead is the ingest/replay gap).
+type StoreBenchResult struct {
+	Series                    int   `json:"series"`
+	Length                    int   `json:"length"`
+	Samples                   int   `json:"samples"`
+	IngestNsPerSeries         int64 `json:"ingest_ns_per_series"`
+	ReplayNsPerSeries         int64 `json:"replay_ns_per_series"`
+	CheckpointLoadNsPerSeries int64 `json:"checkpoint_load_ns_per_series"`
+	WALBytesPerSeries         int64 `json:"wal_bytes_per_series"`
+}
+
+// BenchReport is the full -bench -json document: per-measure query
+// benchmarks plus the store throughput record.
+type BenchReport struct {
+	Measures []BenchResult    `json:"measures"`
+	Store    StoreBenchResult `json:"store"`
+}
+
 // benchShape maps a scale to the benchmark workload size.
 func benchShape(sc experiments.Scale) (series, length int) {
 	switch sc {
@@ -159,10 +198,11 @@ func benchShape(sc experiments.Scale) (series, length int) {
 	}
 }
 
-// runBench times one batched query per measure over a shared workload:
-// top-10 for the distance measures, a probabilistic range query at the
-// calibrated eps for PROUD and MUNICH.
-func runBench(stdout, stderr io.Writer, sc experiments.Scale, seed int64, tau float64, asJSON bool, wrapperMax float64) error {
+// runBench times one batched query per measure over a shared workload
+// (top-10 for the distance measures, a probabilistic range query at the
+// calibrated eps for PROUD and MUNICH), then the durable store's
+// ingest/replay/checkpoint throughput on the same shape.
+func runBench(stdout, stderr io.Writer, sc experiments.Scale, seed int64, tau float64, asJSON bool, wrapperMax, replayMax float64) error {
 	series, length := benchShape(sc)
 	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: series, Length: length, Seed: seed})
 	if err != nil {
@@ -274,15 +314,153 @@ func runBench(stdout, stderr io.Writer, sc experiments.Scale, seed int64, tau fl
 			return err
 		}
 	}
+
+	batch := make([]corpus.Series, w.Len())
+	for i := range batch {
+		batch[i] = corpus.Series{
+			Values:  w.PDF[i].Observations,
+			Errors:  w.PDF[i].Errors,
+			Samples: w.Samples[i].Samples,
+			Label:   w.PDF[i].Label,
+		}
+	}
+	storeRes, err := runStoreBench(stderr, batch, length)
+	if err != nil {
+		return err
+	}
+	if replayMax > 0 {
+		if err := checkReplay(storeRes, replayMax, stderr); err != nil {
+			return err
+		}
+	}
+
 	if asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		return enc.Encode(BenchReport{Measures: results, Store: storeRes})
 	}
 	fmt.Fprintf(stdout, "%-10s %14s %14s %14s %12s %12s %10s %10s\n", "measure", "ns/op", "direct-ns/op", "run-ns/op", "candidates", "completed", "abandoned", "pruned%")
 	for _, r := range results {
 		fmt.Fprintf(stdout, "%-10s %14d %14d %14d %12d %12d %10d %9.1f%%\n",
 			r.Measure, r.NsPerOp, r.DirectNsPerOp, r.RunNsPerOp, r.Candidates, r.Completed, r.AbandonedEarly, 100*r.PrunedFraction)
+	}
+	fmt.Fprintf(stdout, "store      ingest %d ns/series, replay %d ns/series, checkpoint load %d ns/series, wal %d B/series\n",
+		storeRes.IngestNsPerSeries, storeRes.ReplayNsPerSeries, storeRes.CheckpointLoadNsPerSeries, storeRes.WALBytesPerSeries)
+	return nil
+}
+
+// runStoreBench measures the durable store on the bench batch: acknowledge
+// every series through the WAL one mutation at a time, reopen the
+// directory (replaying the whole log), checkpoint, and reopen again (pure
+// checkpoint load). Best of benchRounds rounds per metric, fresh directory
+// each round.
+func runStoreBench(stderr io.Writer, batch []corpus.Series, length int) (StoreBenchResult, error) {
+	res := StoreBenchResult{Series: len(batch), Length: length}
+	if len(batch) == 0 {
+		return res, fmt.Errorf("store bench: empty batch")
+	}
+	if batch[0].Samples != nil {
+		res.Samples = len(batch[0].Samples[0])
+	}
+	per := func(d time.Duration) int64 { return d.Nanoseconds() / int64(len(batch)) }
+	keepMin := func(dst *int64, v int64, first bool) {
+		if first || v < *dst {
+			*dst = v
+		}
+	}
+	for round := 0; round < benchRounds; round++ {
+		dir, err := os.MkdirTemp("", "uncertbench-store-*")
+		if err != nil {
+			return res, err
+		}
+		ingest, replay, ckptLoad, walBytes, err := storeBenchRound(dir, batch, length)
+		os.RemoveAll(dir)
+		if err != nil {
+			return res, err
+		}
+		first := round == 0
+		keepMin(&res.IngestNsPerSeries, per(ingest), first)
+		keepMin(&res.ReplayNsPerSeries, per(replay), first)
+		keepMin(&res.CheckpointLoadNsPerSeries, per(ckptLoad), first)
+		keepMin(&res.WALBytesPerSeries, walBytes/int64(len(batch)), first)
+	}
+	fmt.Fprintf(stderr, "store done (ingest %dns, replay %dns, checkpoint load %dns per series)\n",
+		res.IngestNsPerSeries, res.ReplayNsPerSeries, res.CheckpointLoadNsPerSeries)
+	return res, nil
+}
+
+// storeBenchRound runs one ingest → reopen → checkpoint → reopen cycle.
+func storeBenchRound(dir string, batch []corpus.Series, length int) (ingest, replay, ckptLoad time.Duration, walBytes int64, err error) {
+	st, err := store.Open(dir, corpus.Config{Length: length, ReportedSigma: 0.5}, store.Options{CheckpointBytes: -1})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	start := time.Now()
+	for _, s := range batch {
+		if _, err := st.Corpus().Insert(s); err != nil {
+			st.Close()
+			return 0, 0, 0, 0, err
+		}
+	}
+	ingest = time.Since(start)
+	walBytes = st.Status().WALBytesSinceCheckpoint
+	if err := st.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Recovery is timed through read-only opens: the pure replay path
+	// (checkpoint load + WAL decode + artifact rebuild) without the
+	// new-segment creation and directory fsyncs a writable open adds —
+	// those would swamp the per-series numbers on slow disks.
+	start = time.Now()
+	st2, err := store.Open(dir, corpus.Config{}, store.Options{ReadOnly: true})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	replay = time.Since(start)
+	if st2.Corpus().Len() != len(batch) {
+		return 0, 0, 0, 0, fmt.Errorf("store bench: replay recovered %d series, want %d", st2.Corpus().Len(), len(batch))
+	}
+
+	stc, err := store.Open(dir, corpus.Config{}, store.Options{CheckpointBytes: -1})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := stc.Checkpoint(); err != nil {
+		stc.Close()
+		return 0, 0, 0, 0, err
+	}
+	if err := stc.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	start = time.Now()
+	st3, err := store.Open(dir, corpus.Config{}, store.Options{ReadOnly: true})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	ckptLoad = time.Since(start)
+	if st3.Corpus().Len() != len(batch) {
+		return 0, 0, 0, 0, fmt.Errorf("store bench: checkpoint recovered %d series, want %d", st3.Corpus().Len(), len(batch))
+	}
+	return ingest, replay, ckptLoad, walBytes, nil
+}
+
+// replayNoiseFloorNs is the absolute per-series slack of the replay check:
+// below it, the ingest/replay gap is scheduler and filesystem noise.
+const replayNoiseFloorNs = 25000
+
+// checkReplay fails when WAL replay is slower than maxRatio times fresh
+// ingest (beyond the noise floor) — the CI guard that keeps recovery time
+// proportional to ingest time. Replay does strictly less work than ingest
+// (decode instead of encode+write), so a big gap means the recovery path
+// regressed.
+func checkReplay(r StoreBenchResult, maxRatio float64, stderr io.Writer) error {
+	ratio := float64(r.ReplayNsPerSeries) / float64(r.IngestNsPerSeries)
+	fmt.Fprintf(stderr, "replay check: replay/ingest = %.3f\n", ratio)
+	if ratio > maxRatio && r.ReplayNsPerSeries-r.IngestNsPerSeries > replayNoiseFloorNs {
+		return fmt.Errorf("WAL replay regression beyond %.2fx over ingest: replay %dns vs ingest %dns per series",
+			maxRatio, r.ReplayNsPerSeries, r.IngestNsPerSeries)
 	}
 	return nil
 }

@@ -17,6 +17,8 @@ func TestFlagValidation(t *testing.T) {
 		"unknown flag":              {"-nope"},
 		"wrapper-max without bench": {"-wrapper-max", "1.15"},
 		"negative wrapper-max":      {"-bench", "-wrapper-max", "-1"},
+		"replay-max without bench":  {"-replay-max", "2"},
+		"negative replay-max":       {"-bench", "-replay-max", "-1"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s (%v): expected an error", name, args)
@@ -50,8 +52,8 @@ func TestEndToEndExperiment(t *testing.T) {
 }
 
 // TestBenchJSON runs the engine benchmark at the small scale and checks
-// the machine-readable output: all seven measures, positive timings, and
-// the stats accounting identity.
+// the machine-readable output: all seven measures, positive timings, the
+// stats accounting identity, and the store throughput record.
 func TestBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench run in -short mode")
@@ -60,12 +62,21 @@ func TestBenchJSON(t *testing.T) {
 	if err := run([]string{"-bench", "-scale", "small", "-seed", "7", "-json"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	var results []BenchResult
-	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+	var report BenchReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
 		t.Fatalf("bench output is not JSON: %v\n%s", err, out.String())
 	}
+	results := report.Measures
 	if len(results) != 7 {
 		t.Fatalf("got %d measures, want 7", len(results))
+	}
+	st := report.Store
+	if st.IngestNsPerSeries <= 0 || st.ReplayNsPerSeries <= 0 || st.CheckpointLoadNsPerSeries <= 0 || st.WALBytesPerSeries <= 0 {
+		t.Errorf("implausible store bench record %+v", st)
+	}
+	if st.Series != results[0].Series || st.Length != results[0].Length {
+		t.Errorf("store bench shape %dx%d does not match the measure shape %dx%d",
+			st.Series, st.Length, results[0].Series, results[0].Length)
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

@@ -6,6 +6,15 @@
 //	uncertgen -dataset CBF -series 100 -length 128 -seed 1 > cbf.csv
 //	uncertgen -list
 //	uncertgen -dataset GunPoint -perturb normal -sigma 0.6   # noisy copy
+//
+// With -out the workload is emitted as a durable corpus checkpoint
+// instead: the directory can be served by `uncertserve -data` or queried
+// by `uncertquery -data` directly, with no HTTP ingest step. The series
+// are perturbed (-perturb selects the error family, defaulting to normal)
+// and carry their reported error models; -samples attaches repeated
+// observations so the persisted corpus can serve MUNICH:
+//
+//	uncertgen -dataset CBF -series 64 -length 96 -samples 5 -out /var/lib/uncertserve
 package main
 
 import (
@@ -14,6 +23,8 @@ import (
 	"io"
 	"os"
 
+	"uncertts/internal/corpus"
+	"uncertts/internal/store"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
@@ -30,8 +41,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		length  = fs.Int("length", 0, "series length (0 = the dataset's native length)")
 		seed    = fs.Int64("seed", 1, "generation seed")
 		list    = fs.Bool("list", false, "list dataset names and exit")
-		perturb = fs.String("perturb", "", "optionally perturb with this error family: normal, uniform or exponential")
-		sigma   = fs.Float64("sigma", 0.6, "error standard deviation when -perturb is set")
+		perturb = fs.String("perturb", "", "optionally perturb with this error family: normal, uniform or exponential (-out defaults to normal)")
+		sigma   = fs.Float64("sigma", 0.6, "error standard deviation when -perturb or -out is set")
+		out     = fs.String("out", "", "emit the workload as a durable corpus checkpoint into this directory instead of CSV")
+		samples = fs.Int("samples", 0, "repeated observations per timestamp persisted with -out (0 disables MUNICH on the corpus)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,10 +66,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *sigma < 0 {
 		return fmt.Errorf("-sigma = %v must be non-negative", *sigma)
 	}
+	if *samples < 0 {
+		return fmt.Errorf("-samples = %d must be non-negative", *samples)
+	}
+	if *samples > 0 && *out == "" {
+		return fmt.Errorf("-samples requires -out (CSV output carries no sample model)")
+	}
 
 	ds, err := ucr.Generate(*name, ucr.Options{MaxSeries: *series, Length: *length, Seed: *seed})
 	if err != nil {
 		return err
+	}
+
+	if *out != "" {
+		return writeStore(ds, *out, *perturb, *sigma, *samples, *seed, stderr)
 	}
 
 	if *perturb != "" {
@@ -75,6 +98,63 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	return timeseries.WriteCSV(stdout, ds)
+}
+
+// writeStore seeds a durable corpus directory with the perturbed workload
+// and checkpoints it, so the WAL starts empty and a later open replays
+// nothing.
+func writeStore(ds timeseries.Dataset, dir, perturb string, sigma float64, samples int, seed int64, stderr io.Writer) error {
+	if sigma <= 0 {
+		return fmt.Errorf("-out needs a positive -sigma (the persisted series carry their error models)")
+	}
+	if perturb == "" {
+		perturb = "normal"
+	}
+	family, err := parseFamily(perturb)
+	if err != nil {
+		return err
+	}
+	n := ds.Series[0].Len()
+	pert, err := uncertain.NewConstantPerturber(family, sigma, n, seed)
+	if err != nil {
+		return err
+	}
+	batch := make([]corpus.Series, len(ds.Series))
+	for i, s := range ds.Series {
+		ps := pert.PerturbPDF(s)
+		batch[i] = corpus.Series{Values: ps.Observations, Errors: ps.Errors, Label: s.Label}
+		if samples > 0 {
+			ss, err := pert.PerturbSamples(s, samples)
+			if err != nil {
+				return err
+			}
+			batch[i].Samples = ss.Samples
+		}
+	}
+
+	st, err := store.Open(dir, corpus.Config{Length: n, ReportedSigma: sigma}, store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		return err
+	}
+	if st.Corpus().Len() > 0 {
+		st.Close()
+		return fmt.Errorf("-out directory %s already holds %d series (seed an empty directory)", dir, st.Corpus().Len())
+	}
+	if _, err := st.Corpus().InsertBatch(batch); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Checkpoint(); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	snap := st.Corpus().Snapshot()
+	fmt.Fprintf(stderr, "uncertgen: persisted %d series x %d points (%s error, sigma %g, %d samples/ts) as a checkpoint in %s\n",
+		snap.Len(), snap.SeriesLen(), perturb, sigma, samples, dir)
+	return nil
 }
 
 func main() {

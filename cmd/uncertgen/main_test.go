@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"uncertts/internal/corpus"
+	"uncertts/internal/store"
 	"uncertts/internal/timeseries"
 )
 
@@ -54,5 +56,36 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if noisy.String() == out.String() {
 		t.Error("perturbed output identical to the clean output")
+	}
+}
+
+// TestOutEmitsDurableCorpus seeds a store directory and reopens it.
+func TestOutEmitsDurableCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var msg bytes.Buffer
+	if err := run([]string{"-dataset", "CBF", "-series", "6", "-length", "16", "-samples", "3", "-out", dir}, io.Discard, &msg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg.String(), "persisted 6 series") {
+		t.Errorf("summary missing from stderr: %q", msg.String())
+	}
+	st, err := store.Open(dir, corpus.Config{}, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Corpus().Snapshot()
+	if snap.Len() != 6 || snap.SeriesLen() != 16 {
+		t.Fatalf("persisted corpus is %d series x %d points, want 6 x 16", snap.Len(), snap.SeriesLen())
+	}
+	if !snap.HasSamples() {
+		t.Error("persisted corpus lost its sample model (MUNICH would be unavailable)")
+	}
+	// Re-seeding a non-empty directory must refuse.
+	if err := run([]string{"-dataset", "CBF", "-series", "2", "-length", "16", "-out", dir}, io.Discard, io.Discard); err == nil {
+		t.Error("seeding a non-empty directory should fail")
+	}
+	// -samples without -out is a CSV run and must refuse.
+	if err := run([]string{"-dataset", "CBF", "-series", "2", "-length", "16", "-samples", "3"}, io.Discard, io.Discard); err == nil {
+		t.Error("-samples without -out should fail")
 	}
 }

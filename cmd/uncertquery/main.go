@@ -27,6 +27,16 @@
 // honours — the scan stops promptly when it expires:
 //
 //	uncertquery -mode topk -technique dtw -topk 5 -timeout 500ms
+//
+// With -data the query runs against a persisted corpus directory (written
+// by `uncertgen -out` or `uncertserve -data`) instead of a generated
+// workload: the store is opened read-only, recovered exactly as
+// uncertserve would, and -query addresses a series by its stable corpus
+// ID. Ground-truth reporting (and tau/eps calibration) needs a generated
+// workload, so probrange against -data requires explicit -eps and -tau:
+//
+//	uncertquery -data /var/lib/uncertserve -mode topk -technique uema -topk 5 -query 3
+//	uncertquery -data /var/lib/uncertserve -mode probrange -technique proud -eps 4 -tau 0.1 -query 3
 package main
 
 import (
@@ -38,7 +48,9 @@ import (
 	"time"
 
 	"uncertts/internal/core"
+	"uncertts/internal/corpus"
 	"uncertts/internal/engine"
+	"uncertts/internal/store"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
@@ -48,6 +60,7 @@ import (
 type config struct {
 	dataset   string
 	csvPath   string
+	dataDir   string
 	series    int
 	length    int
 	seed      int64
@@ -102,7 +115,18 @@ func validate(cfg config) error {
 	if cfg.topk < 1 {
 		return fmt.Errorf("-topk = %d must be at least 1", cfg.topk)
 	}
-	if cfg.csvPath == "" {
+	if cfg.dataDir != "" {
+		if cfg.csvPath != "" {
+			return fmt.Errorf("-data and -csv are mutually exclusive")
+		}
+		if mode == "match" {
+			return fmt.Errorf("mode match needs a generated workload with ground truth (use -mode topk or -mode probrange with -data)")
+		}
+		if mode == "probrange" && (cfg.eps == 0 || cfg.tau == 0) {
+			return fmt.Errorf("probrange against -data needs explicit -eps and -tau (calibration needs a generated workload)")
+		}
+	}
+	if cfg.csvPath == "" && cfg.dataDir == "" {
 		if cfg.series < 2 {
 			return fmt.Errorf("-series = %d must be at least 2", cfg.series)
 		}
@@ -149,6 +173,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset to generate (ignored with -csv)")
 	flag.StringVar(&cfg.csvPath, "csv", "", "load the dataset from this CSV file instead of generating")
+	flag.StringVar(&cfg.dataDir, "data", "", "query a persisted corpus directory (read-only recovery; -query addresses a stable corpus ID)")
 	flag.IntVar(&cfg.series, "series", 40, "number of series when generating")
 	flag.IntVar(&cfg.length, "length", 96, "series length when generating")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generation and perturbation")
@@ -170,6 +195,11 @@ func main() {
 	}
 	cfg.mode = strings.ToLower(cfg.mode)
 	cfg.technique = strings.ToLower(cfg.technique)
+
+	if cfg.dataDir != "" {
+		runFromStore(cfg)
+		return
+	}
 
 	ds, err := loadDataset(cfg.csvPath, cfg.dataset, cfg.series, cfg.length, cfg.seed)
 	if err != nil {
@@ -228,22 +258,88 @@ func runMatch(w *core.Workload, dsName string, cfg config) {
 	fmt.Printf("precision=%.3f recall=%.3f F1=%.3f\n", metrics.Precision, metrics.Recall, metrics.F1)
 }
 
+// measureFor maps a validated technique name to its engine measure.
+func measureFor(technique string) engine.Measure {
+	switch technique {
+	case "euclidean":
+		return engine.MeasureEuclidean
+	case "uma":
+		return engine.MeasureUMA
+	case "uema":
+		return engine.MeasureUEMA
+	case "dtw":
+		return engine.MeasureDTW
+	case "dust":
+		return engine.MeasureDUST
+	case "proud":
+		return engine.MeasurePROUD
+	default:
+		return engine.MeasureMUNICH
+	}
+}
+
+// runFromStore answers the query against a persisted corpus: read-only
+// recovery (the exact state uncertserve would serve), engines over the
+// recovered snapshot, -query resolved as a stable corpus ID.
+func runFromStore(cfg config) {
+	st, err := store.Open(cfg.dataDir, corpus.Config{}, store.Options{ReadOnly: true})
+	if err != nil {
+		fatal(err)
+	}
+	snap := st.Corpus().Snapshot()
+	if snap.Len() == 0 {
+		fatal(fmt.Errorf("persisted corpus %s holds no series", cfg.dataDir))
+	}
+	pos, ok := snap.PosOf(cfg.queryIdx)
+	if !ok {
+		fatal(fmt.Errorf("no series with stable ID %d in %s (IDs are assigned at ingest and never reused)", cfg.queryIdx, cfg.dataDir))
+	}
+	measure := measureFor(cfg.technique)
+	e, err := engine.NewFromSnapshot(snap, engine.Options{Measure: measure, Band: cfg.band, Workers: cfg.workers})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := queryContext(cfg)
+	defer cancel()
+	req := engine.Request{Measure: measure, Index: &pos, Workers: cfg.workers}
+	if cfg.mode == "topk" {
+		req.Kind, req.K = engine.KindTopK, cfg.topk
+	} else {
+		req.Kind, req.Eps, req.Tau = engine.KindProbRange, cfg.eps, cfg.tau
+	}
+	res, err := e.Run(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	stats := e.Stats()
+
+	fmt.Printf("corpus     : %s (%d series x %d points, epoch %d)\n", cfg.dataDir, snap.Len(), snap.SeriesLen(), snap.Epoch())
+	if cfg.mode == "topk" {
+		fmt.Printf("measure    : %s (pruned top-%d)\n", measure, cfg.topk)
+	} else {
+		fmt.Printf("measure    : %s (pruned probabilistic range, eps=%.4f, tau=%g)\n", measure, cfg.eps, cfg.tau)
+	}
+	fmt.Printf("query      : series %d (label %d)\n", cfg.queryIdx, snap.Entry(pos).PDF.Label)
+	for rank, n := range res.Neighbors {
+		fmt.Printf("  #%-2d series %-4d label %-3d distance %.4f\n",
+			rank+1, snap.IDAt(n.ID), snap.Entry(n.ID).PDF.Label, n.Distance)
+	}
+	if res.IDs != nil {
+		ids := make([]int, len(res.IDs))
+		for i, p := range res.IDs {
+			ids[i] = snap.IDAt(p)
+		}
+		fmt.Printf("matches    : %v\n", ids)
+	}
+	fmt.Printf("scan       : %d candidates, %d full computations, %d abandoned early, %d pruned by envelope (%.1f%% of the scan skipped)\n",
+		stats.Candidates, stats.Completed, stats.AbandonedEarly, stats.PrunedByEnvelope,
+		100*float64(stats.Candidates-stats.Completed)/float64(max(1, stats.Candidates)))
+}
+
 // runTopK answers the k-NN query through the pruned engine and reports the
 // scan statistics next to a naive full-scan baseline.
 func runTopK(w *core.Workload, dsName string, cfg config) {
-	var measure engine.Measure
-	switch cfg.technique {
-	case "euclidean":
-		measure = engine.MeasureEuclidean
-	case "uma":
-		measure = engine.MeasureUMA
-	case "uema":
-		measure = engine.MeasureUEMA
-	case "dtw":
-		measure = engine.MeasureDTW
-	case "dust":
-		measure = engine.MeasureDUST
-	}
+	measure := measureFor(cfg.technique)
 	e, err := engine.New(w, engine.Options{Measure: measure, Band: cfg.band, Workers: cfg.workers})
 	if err != nil {
 		fatal(err)

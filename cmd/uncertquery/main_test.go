@@ -55,6 +55,19 @@ func TestValidate(t *testing.T) {
 		{"tau one for proud", func(c *config) { c.mode = "probrange"; c.technique = "proud"; c.tau = 1 }, "-tau"},
 		{"tau above one", func(c *config) { c.mode = "probrange"; c.technique = "munich"; c.tau = 1.5 }, "-tau"},
 		{"negative timeout", func(c *config) { c.timeout = -time.Second }, "-timeout"},
+
+		{"data topk", func(c *config) { c.dataDir = "d"; c.mode = "topk"; c.technique = "dtw"; c.series = 0; c.length = 0 }, ""},
+		{"data probrange explicit", func(c *config) {
+			c.dataDir = "d"
+			c.mode = "probrange"
+			c.technique = "proud"
+			c.eps = 3
+			c.tau = 0.1
+		}, ""},
+		{"data with csv", func(c *config) { c.dataDir = "d"; c.csvPath = "x.csv"; c.mode = "topk"; c.technique = "dtw" }, "mutually exclusive"},
+		{"data match mode", func(c *config) { c.dataDir = "d" }, "ground truth"},
+		{"data probrange without eps", func(c *config) { c.dataDir = "d"; c.mode = "probrange"; c.technique = "proud"; c.tau = 0.1 }, "explicit -eps"},
+		{"data probrange without tau", func(c *config) { c.dataDir = "d"; c.mode = "probrange"; c.technique = "proud"; c.eps = 3 }, "explicit -eps"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,12 +1,28 @@
 // Command uncertserve serves uncertain-similarity queries over HTTP/JSON:
 // a mutable corpus of uncertain series behind /query (topk, range,
 // probtopk, probrange across all seven measures), /query/stream
-// (incremental NDJSON results), /series (ingest and delete) and /stats
-// (corpus and per-measure engine accounting).
+// (incremental NDJSON results), /series (ingest and delete), /stats
+// (corpus and per-measure engine accounting), /healthz (liveness plus
+// durability state) and /admin/checkpoint (checkpoint + WAL compaction on
+// demand).
 //
 // Usage:
 //
 //	uncertserve -addr :8080 -dataset CBF -series 64 -length 96 -sigma 0.6 -samples 5
+//
+// With -data the corpus is durable: every mutation is written ahead to a
+// checksummed WAL under the given directory, checkpoints bound recovery
+// time, and a restart (or crash) recovers the exact acknowledged state:
+//
+//	uncertserve -addr :8080 -data /var/lib/uncertserve -fsync always
+//	curl -s localhost:8080/series -d '{"insert":[{"values":[...],"sigma":0.6}]}'
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/admin/checkpoint
+//
+// -fsync picks the durability/throughput trade-off: "always" fsyncs every
+// mutation before acknowledging it, "interval" (default) batches fsyncs
+// every -fsync-interval. A preload dataset (-dataset) seeds the store only
+// when it is empty; on restart the persisted data wins.
 //
 // Query a resident series by its stable ID, or ship an ad-hoc series.
 // Queries run under the request's context — hanging up cancels the scan —
@@ -16,26 +32,28 @@
 //	curl -s localhost:8080/query -d '{"measure":"proud","type":"probrange","eps":4.5,"tau":0.1,"series":{"values":[...],"sigma":0.6}}'
 //	curl -sN localhost:8080/query/stream -d '{"measure":"euclidean","type":"range","eps":6,"id":3}'
 //
-// Ingest and delete while queries run; in-flight queries keep the corpus
-// snapshot they started on:
-//
-//	curl -s localhost:8080/series -d '{"insert":[{"values":[...],"sigma":0.6}]}'
-//	curl -s localhost:8080/series -d '{"delete":[64]}'
-//	curl -s localhost:8080/stats
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
+// get a deadline to finish, then the WAL is flushed, a final checkpoint
+// is written, and the store is closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"uncertts/internal/corpus"
 	"uncertts/internal/munich"
 	"uncertts/internal/server"
+	"uncertts/internal/store"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
 )
@@ -52,6 +70,12 @@ type config struct {
 	maxWorkers int
 	mcSamples  int
 	timeout    time.Duration
+
+	dataDir       string
+	fsync         string
+	fsyncEvery    time.Duration
+	ckptBytes     int64
+	shutdownGrace time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -59,7 +83,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.SetOutput(stderr)
 	var cfg config
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	fs.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset preloaded into the corpus (empty = start empty)")
+	fs.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset preloaded into the corpus (empty = start empty; ignored when -data was ever mutated)")
 	fs.IntVar(&cfg.series, "series", 64, "number of series to preload")
 	fs.IntVar(&cfg.length, "length", 96, "series length")
 	fs.Int64Var(&cfg.seed, "seed", 1, "generation and perturbation seed")
@@ -69,6 +93,11 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.maxWorkers, "max-workers", 0, "per-request worker budget cap (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.mcSamples, "munich-bins", 0, "MUNICH convolution estimator bins (0 = default)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-query deadline for requests without timeout_ms, e.g. 2s (0 = none)")
+	fs.StringVar(&cfg.dataDir, "data", "", "durable store directory (empty = in-memory corpus, restart loses everything)")
+	fs.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data: always (fsync before acknowledging each mutation) or interval")
+	fs.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "fsync period of -fsync interval")
+	fs.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 8<<20, "WAL bytes past the last checkpoint that trigger a background checkpoint (negative disables)")
+	fs.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second, "deadline for in-flight requests on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -87,44 +116,94 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if cfg.dataset != "" && cfg.series < 1 {
 		return cfg, fmt.Errorf("-series = %d must be at least 1", cfg.series)
 	}
+	if _, err := store.ParseSyncPolicy(cfg.fsync); err != nil {
+		return cfg, err
+	}
+	if cfg.fsyncEvery <= 0 {
+		return cfg, fmt.Errorf("-fsync-interval = %v must be positive", cfg.fsyncEvery)
+	}
+	if cfg.shutdownGrace <= 0 {
+		return cfg, fmt.Errorf("-shutdown-grace = %v must be positive", cfg.shutdownGrace)
+	}
 	return cfg, nil
 }
 
-// buildServer assembles the corpus (optionally preloaded with a perturbed
-// synthetic dataset) and the server around it.
-func buildServer(cfg config) (*server.Server, error) {
-	c := corpus.New(corpus.Config{Length: cfg.length, ReportedSigma: cfg.sigma})
-	if cfg.dataset != "" {
-		ds, err := ucr.Generate(cfg.dataset, ucr.Options{MaxSeries: cfg.series, Length: cfg.length, Seed: cfg.seed})
-		if err != nil {
-			return nil, err
-		}
-		pert, err := uncertain.NewConstantPerturber(uncertain.Normal, cfg.sigma, cfg.length, cfg.seed)
-		if err != nil {
-			return nil, err
-		}
-		batch := make([]corpus.Series, len(ds.Series))
-		for i, s := range ds.Series {
-			ps := pert.PerturbPDF(s)
-			batch[i] = corpus.Series{Values: ps.Observations, Errors: ps.Errors, Label: s.Label}
-			if cfg.samples > 0 {
-				ss, err := pert.PerturbSamples(s, cfg.samples)
-				if err != nil {
-					return nil, err
-				}
-				batch[i].Samples = ss.Samples
+// openCorpus returns the corpus to serve: a durable one recovered from
+// -data when set, an in-memory one otherwise. The store is nil for the
+// in-memory case.
+func openCorpus(cfg config) (*corpus.Corpus, *store.Store, error) {
+	ccfg := corpus.Config{Length: cfg.length, ReportedSigma: cfg.sigma}
+	if cfg.dataDir == "" {
+		return corpus.New(ccfg), nil, nil
+	}
+	policy, err := store.ParseSyncPolicy(cfg.fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := store.Open(cfg.dataDir, ccfg, store.Options{
+		Sync:            policy,
+		SyncEvery:       cfg.fsyncEvery,
+		CheckpointBytes: cfg.ckptBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.Corpus(), st, nil
+}
+
+// preload seeds the corpus with the perturbed synthetic dataset, but only
+// a pristine one: a recovered store keeps exactly its acknowledged state,
+// including "operator deleted everything" (epoch > 0 with zero series),
+// which must not be papered over with fresh synthetic data.
+func preload(c *corpus.Corpus, cfg config, pristine bool) error {
+	if cfg.dataset == "" || !pristine {
+		return nil
+	}
+	ds, err := ucr.Generate(cfg.dataset, ucr.Options{MaxSeries: cfg.series, Length: cfg.length, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, cfg.sigma, cfg.length, cfg.seed)
+	if err != nil {
+		return err
+	}
+	batch := make([]corpus.Series, len(ds.Series))
+	for i, s := range ds.Series {
+		ps := pert.PerturbPDF(s)
+		batch[i] = corpus.Series{Values: ps.Observations, Errors: ps.Errors, Label: s.Label}
+		if cfg.samples > 0 {
+			ss, err := pert.PerturbSamples(s, cfg.samples)
+			if err != nil {
+				return err
 			}
+			batch[i].Samples = ss.Samples
 		}
-		if _, err := c.InsertBatch(batch); err != nil {
-			return nil, err
+	}
+	_, err = c.InsertBatch(batch)
+	return err
+}
+
+// buildServer assembles the corpus (durable when -data is set, optionally
+// preloaded) and the server around it.
+func buildServer(cfg config) (*server.Server, *store.Store, error) {
+	c, st, err := openCorpus(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pristine := st == nil || c.Snapshot().Epoch() == 0
+	if err := preload(c, cfg, pristine); err != nil {
+		if st != nil {
+			st.Close()
 		}
+		return nil, nil, err
 	}
 	return server.New(c, server.Options{
 		DefaultWorkers: cfg.defWorkers,
 		MaxWorkers:     cfg.maxWorkers,
 		DefaultTimeout: cfg.timeout,
 		MUNICH:         munich.Options{Bins: cfg.mcSamples},
-	}), nil
+		Store:          st,
+	}), st, nil
 }
 
 func main() {
@@ -133,15 +212,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(2)
 	}
-	srv, err := buildServer(cfg)
+	srv, st, err := buildServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(1)
 	}
 	snap := srv.Corpus().Snapshot()
+	if st != nil {
+		log.Printf("uncertserve: durable store %s at epoch %d (fsync %s)", st.Dir(), snap.Epoch(), cfg.fsync)
+	}
 	log.Printf("uncertserve: %d series x %d points resident, listening on %s", snap.Len(), snap.SeriesLen(), cfg.addr)
-	if err := http.ListenAndServe(cfg.addr, srv.Handler()); err != nil {
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("uncertserve: shutting down (grace %v)", cfg.shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("uncertserve: shutdown: %v", err)
+	}
+	if st != nil {
+		// Flush + final checkpoint so the next start replays nothing.
+		if err := st.Checkpoint(); err != nil && !errors.Is(err, store.ErrClosed) {
+			log.Printf("uncertserve: final checkpoint: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("uncertserve: closing store: %v", err)
+		}
+	}
+	log.Printf("uncertserve: bye")
 }

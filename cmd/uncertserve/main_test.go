@@ -7,6 +7,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"uncertts/internal/server"
+	"uncertts/internal/store"
 )
 
 func TestParseFlagsValidation(t *testing.T) {
@@ -22,12 +25,24 @@ func TestParseFlagsValidation(t *testing.T) {
 			t.Errorf("%s (%v): expected an error", name, args)
 		}
 	}
+	for name, args := range map[string][]string{
+		"bad fsync":          {"-fsync", "sometimes"},
+		"bad fsync interval": {"-fsync-interval", "0s"},
+		"bad grace":          {"-shutdown-grace", "-1s"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("%s (%v): expected an error", name, args)
+		}
+	}
 	cfg, err := parseFlags([]string{"-series", "8", "-length", "32", "-samples", "0"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.series != 8 || cfg.length != 32 || cfg.samples != 0 {
 		t.Errorf("parsed config %+v", cfg)
+	}
+	if cfg.fsync != "interval" || cfg.dataDir != "" {
+		t.Errorf("durability defaults %+v", cfg)
 	}
 }
 
@@ -38,7 +53,7 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(cfg)
+	srv, _, err := buildServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +79,76 @@ func TestEndToEnd(t *testing.T) {
 		}
 	}
 	// An empty-dataset server starts with an empty corpus.
-	empty, err := buildServer(config{dataset: "", length: 24, sigma: 0.5})
+	empty, _, err := buildServer(config{dataset: "", length: 24, sigma: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if empty.Corpus().Len() != 0 {
 		t.Error("empty server should start with no series")
+	}
+}
+
+// TestDurableServerSurvivesRestart builds a durable server, ingests
+// through the HTTP handler, tears everything down, and rebuilds from the
+// same directory: the preload must be skipped and the ingested series
+// must be back.
+func TestDurableServerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (sv *server.Server, st *store.Store) {
+		cfg, err := parseFlags([]string{"-series", "6", "-length", "16", "-sigma", "0.5", "-samples", "2", "-data", dir, "-fsync", "always"}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, st, err = buildServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sv, st
+	}
+	srv, st := mk()
+	if srv.Corpus().Len() != 6 {
+		t.Fatalf("preloaded %d series, want 6", srv.Corpus().Len())
+	}
+	vals := strings.Repeat("0.5,", 15) + "0.5"
+	req := httptest.NewRequest("POST", "/series", strings.NewReader(`{"insert":[{"values":[`+vals+`],"sigma":0.4}]}`))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+	}
+	wantEpoch := srv.Corpus().Snapshot().Epoch()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, st2 := mk()
+	defer st2.Close()
+	if got := srv2.Corpus().Len(); got != 7 {
+		t.Fatalf("recovered %d series, want 7 (6 preloaded + 1 ingested, no re-preload)", got)
+	}
+	if got := srv2.Corpus().Snapshot().Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+	q := httptest.NewRequest("POST", "/query", strings.NewReader(`{"measure":"euclidean","type":"topk","k":3,"id":6}`))
+	qrec := httptest.NewRecorder()
+	srv2.Handler().ServeHTTP(qrec, q)
+	if qrec.Code != 200 {
+		t.Fatalf("query after recovery: status %d: %s", qrec.Code, qrec.Body.String())
+	}
+
+	// Durably deleting everything must stick across a restart: an emptied
+	// store is not pristine, so the preload must not resurrect the
+	// synthetic dataset.
+	ids := srv2.Corpus().Snapshot().IDs()
+	if err := srv2.Corpus().Delete(ids...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3, st3 := mk()
+	defer st3.Close()
+	if got := srv3.Corpus().Len(); got != 0 {
+		t.Fatalf("restart after delete-all resurrected %d series, want 0", got)
 	}
 }

@@ -120,6 +120,34 @@ type Series struct {
 	Label int
 }
 
+// Mutation is one atomic corpus change as seen by a persistence hook: the
+// ingestion records exactly as submitted, the IDs of the deleted series,
+// and the deterministic outcome of the mutation — the first stable ID
+// assigned to the inserted series (they receive FirstID, FirstID+1, ...)
+// and the epoch of the snapshot the mutation publishes. Logging a Mutation
+// is enough to replay it bit-identically: Replay forces the same ID
+// assignment and epoch.
+type Mutation struct {
+	// Insert holds the ingestion records in input order, exactly as
+	// submitted (Errors nil when the series adopted the corpus defaults).
+	Insert []Series
+	// Delete holds the removed stable IDs.
+	Delete []int
+	// FirstID is the stable ID assigned to Insert[0] (unused when Insert
+	// is empty, but still the corpus' next ID at mutation time).
+	FirstID int
+	// Epoch is the epoch of the snapshot this mutation publishes.
+	Epoch uint64
+}
+
+// Hook observes every mutation before its snapshot is published — the
+// write-ahead ordering a durable log needs. It runs under the corpus write
+// lock, after the mutation validated but before anything is visible to
+// readers; returning an error aborts the whole mutation (no IDs are
+// consumed, no snapshot is published), so a mutation is acknowledged only
+// once its hook accepted it.
+type Hook func(Mutation) error
+
 // Entry is one resident series with every derived artifact the query
 // engines consume. Entries are immutable after insertion: a snapshot shares
 // them freely across epochs, and readers may hold them indefinitely.
@@ -143,6 +171,11 @@ type Entry struct {
 	Suffix []float64
 	// Env is the MUNICH segment envelope (zero value when Samples is nil).
 	Env munich.Envelope
+	// OwnErrors records whether the series was inserted with its own error
+	// distributions (as opposed to adopting the corpus defaults) — the
+	// fidelity bit a checkpoint needs to re-ingest the entry through the
+	// exact same code path.
+	OwnErrors bool
 }
 
 // Corpus is the mutable collection. All methods are safe for concurrent
@@ -153,6 +186,7 @@ type Corpus struct {
 	cur    atomic.Pointer[Snapshot]
 	nextID int
 	d      *dust.Dust
+	hook   Hook
 }
 
 // New returns an empty corpus with the given artifact geometry.
@@ -170,6 +204,28 @@ func New(cfg Config) *Corpus {
 // Snapshot returns the current immutable snapshot. It never blocks, not
 // even while a writer is publishing.
 func (c *Corpus) Snapshot() *Snapshot { return c.cur.Load() }
+
+// BarrierSnapshot returns the current snapshot after waiting out any
+// in-flight mutation: unlike Snapshot it acquires the write lock, so every
+// mutation whose hook has already run has published by the time it
+// returns. Checkpointers rely on it — a state serialized from a
+// BarrierSnapshot is guaranteed to cover every mutation the write-ahead
+// log acknowledged before the barrier.
+func (c *Corpus) BarrierSnapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.Load()
+}
+
+// SetHook installs the persistence hook observing every future mutation
+// (nil removes it). The hook runs under the corpus write lock with
+// write-ahead ordering: it sees the mutation before any reader can, and
+// its error aborts the mutation entirely.
+func (c *Corpus) SetHook(h Hook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
+}
 
 // Len returns the current number of resident series.
 func (c *Corpus) Len() int { return c.Snapshot().Len() }
@@ -209,6 +265,33 @@ func (c *Corpus) Apply(insert []Series, deleteIDs []int) ([]int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.applyLocked(insert, deleteIDs, true)
+}
+
+// Replay re-applies a logged mutation with its recorded outcome, bypassing
+// the hook (the record being replayed is already durable). Replay verifies
+// the recorded epoch and ID assignment against the corpus state — a
+// mismatch means the log and the corpus diverged and recovery must stop.
+func (c *Corpus) Replay(m Mutation) error {
+	if len(m.Insert) == 0 && len(m.Delete) == 0 {
+		return errors.New("corpus: replay of an empty mutation")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.cur.Load()
+	if m.Epoch != old.epoch+1 {
+		return fmt.Errorf("corpus: replay epoch %d does not follow current epoch %d", m.Epoch, old.epoch)
+	}
+	if len(m.Insert) > 0 && m.FirstID != c.nextID {
+		return fmt.Errorf("corpus: replay would assign IDs from %d but the log recorded %d", c.nextID, m.FirstID)
+	}
+	_, err := c.applyLocked(m.Insert, m.Delete, false)
+	return err
+}
+
+// applyLocked is the mutation core; callers hold c.mu. When logged is true
+// the hook (if any) observes the mutation before it publishes.
+func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]int, error) {
 	old := c.cur.Load()
 	cfg := old.cfg
 
@@ -247,9 +330,65 @@ func (c *Corpus) Apply(insert []Series, deleteIDs []int) ([]int, error) {
 		ids = append(ids, e.ID)
 		entries = append(entries, e)
 	}
+	if logged && c.hook != nil {
+		m := Mutation{Insert: insert, Delete: deleteIDs, FirstID: c.nextID, Epoch: old.epoch + 1}
+		if err := c.hook(m); err != nil {
+			return nil, fmt.Errorf("corpus: persistence hook rejected the mutation: %w", err)
+		}
+	}
 	c.nextID += len(insert)
 	c.publish(cfg, old, entries)
 	return ids, nil
+}
+
+// RestoredSeries pairs an ingestion record with the stable ID it held — the
+// unit of a checkpoint, carrying exactly what re-ingestion through
+// buildEntry needs to reproduce the resident entry bit for bit.
+type RestoredSeries struct {
+	ID     int
+	Series Series
+}
+
+// Restore rebuilds a corpus from persisted state: the resolved artifact
+// geometry, the resident series (with their stable IDs) in position order,
+// the next ID to assign, and the epoch to publish the restored snapshot
+// at. Every derived artifact is recomputed through the same incremental
+// code path inserts use, so a restored corpus answers queries
+// bit-identically to the one that was checkpointed.
+func Restore(cfg Config, series []RestoredSeries, nextID int, epoch uint64) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if len(series) > 0 && cfg.Length == 0 {
+		return nil, errors.New("corpus: restore: resident series but no resolved series length")
+	}
+	if nextID < 0 {
+		return nil, fmt.Errorf("corpus: restore: negative next ID %d", nextID)
+	}
+	c := &Corpus{d: dust.New(cfg.DUST), nextID: nextID}
+	entries := make([]*Entry, 0, len(series))
+	seen := make(map[int]bool, len(series))
+	for _, rec := range series {
+		if rec.ID < 0 || rec.ID >= nextID {
+			return nil, fmt.Errorf("corpus: restore: series ID %d outside [0, %d)", rec.ID, nextID)
+		}
+		if seen[rec.ID] {
+			return nil, fmt.Errorf("corpus: restore: duplicate series ID %d", rec.ID)
+		}
+		seen[rec.ID] = true
+		e, err := buildEntry(rec.ID, rec.Series, cfg)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	snap := &Snapshot{cfg: cfg, epoch: epoch, entries: entries, pos: make(map[int]int, len(entries)), d: c.d, nextID: nextID}
+	for i, e := range entries {
+		snap.pos[e.ID] = i
+	}
+	if cfg.Length > 0 {
+		snap.finishGeometry()
+	}
+	c.cur.Store(snap)
+	return c, nil
 }
 
 // publish installs a new snapshot over the given entries. Callers hold
@@ -261,6 +400,7 @@ func (c *Corpus) publish(cfg Config, old *Snapshot, entries []*Entry) {
 		entries: entries,
 		pos:     make(map[int]int, len(entries)),
 		d:       c.d,
+		nextID:  c.nextID,
 	}
 	for i, e := range entries {
 		snap.pos[e.ID] = i
@@ -320,8 +460,9 @@ func buildEntry(id int, s Series, cfg Config) (*Entry, error) {
 	}
 
 	e := &Entry{
-		ID:  id,
-		PDF: uncertain.PDFSeries{Observations: obs, Errors: errs, Label: s.Label, ID: id},
+		ID:        id,
+		PDF:       uncertain.PDFSeries{Observations: obs, Errors: errs, Label: s.Label, ID: id},
+		OwnErrors: s.Errors != nil,
 	}
 	sigmas := cfg.Sigmas
 	if s.Errors != nil || sigmas == nil {

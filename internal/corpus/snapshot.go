@@ -18,6 +18,7 @@ type Snapshot struct {
 	pos     map[int]int // ID -> position
 	d       *dust.Dust
 	spans   [][2]int // MUNICH segment geometry for cfg.Segments
+	nextID  int      // the ID the next insert will receive
 }
 
 // finishGeometry resolves the derived geometry once cfg.Length is known.
@@ -36,6 +37,11 @@ func segmentSpansFor(cfg Config) [][2]int {
 // Epoch returns the snapshot's version number; it increases by one with
 // every published mutation.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NextID returns the stable ID the next inserted series will receive, as
+// of this snapshot — part of the state a checkpoint must persist so that
+// recovery reassigns the same IDs the original corpus would have.
+func (s *Snapshot) NextID() int { return s.nextID }
 
 // Config returns the resolved artifact geometry.
 func (s *Snapshot) Config() Config { return s.cfg }

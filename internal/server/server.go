@@ -49,6 +49,7 @@ import (
 	"uncertts/internal/munich"
 	"uncertts/internal/qerr"
 	"uncertts/internal/stats"
+	"uncertts/internal/store"
 )
 
 // Options configures a Server.
@@ -67,6 +68,10 @@ type Options struct {
 	Band int
 	// MUNICH configures the probability estimator of MUNICH engines.
 	MUNICH munich.Options
+	// Store optionally attaches the durability engine behind the corpus:
+	// /healthz then reports WAL and checkpoint state, and POST
+	// /admin/checkpoint triggers a checkpoint + WAL compaction on demand.
+	Store *store.Store
 }
 
 // Server serves similarity queries over a corpus. It is safe for
@@ -117,6 +122,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -692,6 +699,71 @@ func (s *Server) Stats() *StatsResponse {
 		}
 	}
 	return resp
+}
+
+// HealthResponse is the wire form of GET /healthz: liveness plus the
+// durability picture operators page on — current epoch, resident series,
+// and (when a store is attached) how much WAL a crash right now would
+// replay.
+type HealthResponse struct {
+	// Status is "ok" while the server can answer queries; "degraded" when
+	// the attached store stopped accepting mutations or reported a
+	// background failure.
+	Status string `json:"status"`
+	// Epoch is the current corpus epoch.
+	Epoch uint64 `json:"epoch"`
+	// Series is the resident series count.
+	Series int `json:"series"`
+	// Durable reports whether a store is attached.
+	Durable bool `json:"durable"`
+	// Store is the attached store's status (absent when not durable).
+	Store *store.Status `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Health())
+}
+
+// Health assembles the /healthz payload.
+func (s *Server) Health() *HealthResponse {
+	snap := s.c.Snapshot()
+	resp := &HealthResponse{
+		Status: "ok",
+		Epoch:  snap.Epoch(),
+		Series: snap.Len(),
+	}
+	if s.opts.Store != nil {
+		st := s.opts.Store.Status()
+		resp.Durable = true
+		resp.Store = &st
+		if !st.Open || st.LastError != "" {
+			resp.Status = "degraded"
+		}
+	}
+	return resp
+}
+
+// handleCheckpoint serves POST /admin/checkpoint: it durably serializes
+// the current corpus state, compacts the WAL, and answers with the fresh
+// store status. 503 when the server runs without a store.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.opts.Store == nil {
+		http.Error(w, "this server runs without a durable store (start it with -data)", http.StatusServiceUnavailable)
+		return
+	}
+	if err := s.opts.Store.Checkpoint(); err != nil {
+		http.Error(w, "checkpoint: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, s.opts.Store.Status())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -13,6 +13,7 @@ import (
 	"uncertts/internal/corpus"
 	"uncertts/internal/munich"
 	"uncertts/internal/stats"
+	"uncertts/internal/store"
 )
 
 // testSeries derives a deterministic series with samples from a seed.
@@ -341,4 +342,104 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		t.Fatal("no query work was accounted")
 	}
 	_ = fmt.Sprintf("%+v", st)
+}
+
+func TestHealthzWithoutStore(t *testing.T) {
+	_, ts := testServer(t, 4, 16)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Durable || h.Store != nil {
+		t.Fatalf("healthz = %+v, want ok and not durable", h)
+	}
+	if h.Series != 4 {
+		t.Fatalf("healthz reports %d series, want 4", h.Series)
+	}
+
+	// Without a store, /admin/checkpoint must refuse rather than pretend.
+	cp, err := http.Post(ts.URL+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Body.Close()
+	if cp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /admin/checkpoint without store = %d, want 503", cp.StatusCode)
+	}
+}
+
+func TestHealthzAndCheckpointWithStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), corpus.Config{ReportedSigma: 0.3}, store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := New(st.Corpus(), Options{Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var ins SeriesResponse
+	if resp := postJSON(t, ts.URL+"/series", SeriesRequest{Insert: []SeriesJSON{testSeries(16, 1), testSeries(16, 2)}}, &ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || !h.Durable || h.Store == nil {
+		t.Fatalf("healthz = %+v, want ok and durable", h)
+	}
+	if h.Store.WALBytesSinceCheckpoint == 0 {
+		t.Fatal("healthz reports no WAL bytes after an acknowledged ingest")
+	}
+	if h.Epoch != ins.Epoch {
+		t.Fatalf("healthz epoch %d, ingest answered epoch %d", h.Epoch, ins.Epoch)
+	}
+
+	cp, err := http.Post(ts.URL+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpStatus store.Status
+	if err := json.NewDecoder(cp.Body).Decode(&cpStatus); err != nil {
+		t.Fatal(err)
+	}
+	cp.Body.Close()
+	if cp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admin/checkpoint = %d", cp.StatusCode)
+	}
+	if cpStatus.LastCheckpointEpoch != ins.Epoch || cpStatus.WALBytesSinceCheckpoint != 0 {
+		t.Fatalf("post-checkpoint status = %+v, want checkpoint at epoch %d and empty WAL", cpStatus, ins.Epoch)
+	}
+
+	// After close the server keeps answering queries but healthz degrades.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 HealthResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if h2.Status != "degraded" {
+		t.Fatalf("healthz after store close = %q, want degraded", h2.Status)
+	}
 }

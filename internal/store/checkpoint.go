@@ -1,0 +1,202 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"uncertts/internal/corpus"
+)
+
+// A checkpoint file serializes one full corpus state at a recorded epoch:
+//
+//	| magic "UCKPT001" | u32 CRC32-C(body) | body |
+//	body: | u64 epoch | i64 nextID | config | u32 n | n x (i64 id, series) |
+//
+// Checkpoints are written to a temporary file, fsynced, and renamed into
+// place, so a crash mid-checkpoint leaves at worst an ignorable *.tmp —
+// never a half-valid checkpoint. Recovery loads the newest checkpoint
+// whose checksum validates and replays the WAL records past its epoch.
+// The series records carry raw ingestion data, not derived artifacts:
+// envelopes, filtered vectors, suffix energies and phi tables are cheap to
+// rebuild through the corpus' incremental-maintenance path and would
+// bloat the file many times over.
+
+const ckptMagic = "UCKPT001"
+
+func checkpointName(epoch uint64) string { return fmt.Sprintf("checkpoint-%016x.ckpt", epoch) }
+
+// parseCheckpointName returns the epoch of a checkpoint file name.
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// listCheckpoints returns the checkpoint epochs present in dir, newest
+// first.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		if epoch, ok := parseCheckpointName(e.Name()); ok && !e.IsDir() {
+			epochs = append(epochs, epoch)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	return epochs, nil
+}
+
+// checkpointState is the decoded content of one checkpoint file.
+type checkpointState struct {
+	epoch  uint64
+	nextID int
+	cfg    corpus.Config
+	series []corpus.RestoredSeries
+}
+
+// encodeCheckpoint renders a snapshot as a checkpoint body.
+func encodeCheckpoint(snap *corpus.Snapshot) ([]byte, error) {
+	var e enc
+	e.u64(snap.Epoch())
+	e.i64(int64(snap.NextID()))
+	if err := e.config(snap.Config()); err != nil {
+		return nil, err
+	}
+	e.u32(uint32(snap.Len()))
+	for i := 0; i < snap.Len(); i++ {
+		ent := snap.Entry(i)
+		e.i64(int64(ent.ID))
+		s := corpus.Series{Values: ent.PDF.Observations, Label: ent.PDF.Label}
+		if ent.OwnErrors {
+			s.Errors = ent.PDF.Errors
+		}
+		if ent.Samples != nil {
+			s.Samples = ent.Samples.Samples
+		}
+		if err := e.series(s); err != nil {
+			return nil, err
+		}
+	}
+	return e.b, nil
+}
+
+func decodeCheckpoint(body []byte) (checkpointState, error) {
+	d := &dec{b: body}
+	var st checkpointState
+	st.epoch = d.u64()
+	st.nextID = int(d.i64())
+	st.cfg = d.config()
+	if n, ok := d.sliceLen(8); ok {
+		st.series = make([]corpus.RestoredSeries, 0, n)
+		for i := 0; i < n; i++ {
+			id := int(d.i64())
+			s := d.series()
+			if d.err != nil {
+				break
+			}
+			st.series = append(st.series, corpus.RestoredSeries{ID: id, Series: s})
+		}
+	}
+	if d.err != nil {
+		return checkpointState{}, d.err
+	}
+	if !d.done() {
+		return checkpointState{}, fmt.Errorf("store: decode: %d trailing bytes after the checkpoint", len(d.b)-d.off)
+	}
+	return st, nil
+}
+
+// writeCheckpoint durably writes the snapshot as dir/checkpoint-<epoch>:
+// temp file, fsync, rename, directory fsync.
+func writeCheckpoint(dir string, snap *corpus.Snapshot) error {
+	body, err := encodeCheckpoint(snap)
+	if err != nil {
+		return err
+	}
+	var hdr [len(ckptMagic) + 4]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[len(ckptMagic):], crc32.Checksum(body, crcTable))
+
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		cleanup()
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	final := filepath.Join(dir, checkpointName(snap.Epoch()))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(path string) (checkpointState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return checkpointState{}, err
+	}
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return checkpointState{}, fmt.Errorf("store: %s is not a checkpoint file", filepath.Base(path))
+	}
+	sum := binary.LittleEndian.Uint32(data[len(ckptMagic) : len(ckptMagic)+4])
+	body := data[len(ckptMagic)+4:]
+	if crc32.Checksum(body, crcTable) != sum {
+		return checkpointState{}, fmt.Errorf("store: checkpoint %s fails its checksum", filepath.Base(path))
+	}
+	return decodeCheckpoint(body)
+}
+
+// loadNewestCheckpoint finds the newest checkpoint in dir that validates,
+// skipping over damaged ones (an interrupted compaction may have deleted
+// the WAL covering an older checkpoint, but a damaged newest checkpoint
+// with intact predecessors plus their WAL suffix still recovers). ok is
+// false when dir has no usable checkpoint.
+func loadNewestCheckpoint(dir string) (checkpointState, bool, error) {
+	epochs, err := listCheckpoints(dir)
+	if err != nil {
+		return checkpointState{}, false, err
+	}
+	for _, epoch := range epochs {
+		st, err := readCheckpoint(filepath.Join(dir, checkpointName(epoch)))
+		if err != nil {
+			continue
+		}
+		if st.epoch != epoch {
+			continue
+		}
+		return st, true, nil
+	}
+	return checkpointState{}, false, nil
+}

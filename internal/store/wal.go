@@ -1,0 +1,279 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The write-ahead log is a sequence of segment files wal-<seq>.log. Each
+// segment starts with an 8-byte magic and carries length-prefixed,
+// CRC-checksummed records:
+//
+//	segment: | magic "UWALSEG1" | record | record | ...
+//	record:  | u32 payload len | u32 CRC32-C(payload) | payload |
+//
+// Records are appended and flushed atomically with respect to the reader
+// protocol: a crash can only tear the final record of the newest segment
+// (earlier segments are complete by construction — rotation happens only
+// after a clean append). Recovery verifies every record's checksum,
+// truncates the first torn or corrupt record of the newest segment, and
+// treats anything after it as never written.
+
+const (
+	walMagic       = "UWALSEG1"
+	walHeaderLen   = len(walMagic)
+	recHeaderLen   = 8       // u32 length + u32 crc
+	maxRecordBytes = 1 << 30 // sanity cap: a larger length is corruption
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// parseSegmentName returns the sequence number of a WAL segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the WAL segment sequence numbers present in dir, in
+// ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// walWriter appends records to the current segment, rotating to a new one
+// when the configured size is exceeded. It is not internally locked; the
+// Store serializes access.
+type walWriter struct {
+	dir      string
+	segBytes int64
+	f        *os.File
+	seq      uint64
+	size     int64
+	dirty    bool // bytes written since the last fsync
+}
+
+// openWalWriter starts a fresh segment with the given sequence number.
+func openWalWriter(dir string, seq uint64, segBytes int64) (*walWriter, error) {
+	w := &walWriter{dir: dir, segBytes: segBytes}
+	if err := w.startSegment(seq); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *walWriter) startSegment(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seq, w.size, w.dirty = f, seq, int64(walHeaderLen), true
+	return syncDir(w.dir)
+}
+
+// append frames and writes one record, rotating first if the segment is
+// full. The record is pushed to the OS on return (a process crash cannot
+// lose it); whether it is forced to disk is the Store's fsync policy.
+func (w *walWriter) append(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecordBytes)
+	}
+	if w.size > int64(walHeaderLen) && w.size+int64(recHeaderLen+len(payload)) > w.segBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	w.size += int64(recHeaderLen + len(payload))
+	w.dirty = true
+	return nil
+}
+
+// rotate finishes the current segment (fsynced so it is complete on disk
+// before any record lands in the next one) and starts its successor.
+func (w *walWriter) rotate() error {
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return w.startSegment(w.seq + 1)
+}
+
+// sync forces everything appended so far to disk.
+func (w *walWriter) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// readSegment scans one segment file and returns its complete records and
+// the byte offset of the first torn or corrupt record (len of the file
+// when none). A missing or short magic yields zero records with a torn
+// offset of 0.
+func readSegment(path string) (records [][]byte, tornAt int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < walHeaderLen || string(data[:walHeaderLen]) != walMagic {
+		return nil, 0, nil
+	}
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return records, off, nil
+		}
+		if len(rest) < recHeaderLen {
+			return records, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes || int64(len(rest)) < int64(recHeaderLen)+n {
+			return records, off, nil
+		}
+		payload := rest[recHeaderLen : int64(recHeaderLen)+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, off, nil
+		}
+		records = append(records, payload)
+		off += int64(recHeaderLen) + n
+	}
+}
+
+// recoverWAL reads every segment in order and returns the surviving
+// records. Torn or corrupt data is tolerated only at the tail of the
+// newest segment: when truncate is true the tail is cut off on disk (and a
+// headerless newest segment deleted outright); in read-only recovery the
+// files are left alone. A bad record in any older segment is real
+// corruption and fails recovery.
+func recoverWAL(dir string, truncate bool) ([][]byte, uint64, error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out [][]byte
+	var maxSeq uint64
+	for i, seq := range seqs {
+		maxSeq = seq
+		path := filepath.Join(dir, segmentName(seq))
+		records, tornAt, err := readSegment(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		complete, err := segmentComplete(path, tornAt)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !complete {
+			if i != len(seqs)-1 {
+				return nil, 0, fmt.Errorf("store: segment %s is corrupt at offset %d but is not the newest segment", segmentName(seq), tornAt)
+			}
+			if truncate {
+				if tornAt == 0 {
+					if err := os.Remove(path); err != nil {
+						return nil, 0, err
+					}
+				} else if err := truncateFile(path, tornAt); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		out = append(out, records...)
+	}
+	return out, maxSeq, nil
+}
+
+// segmentComplete reports whether the segment's records end exactly at the
+// end of the file.
+func segmentComplete(path string, tornAt int64) (bool, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return false, err
+	}
+	return tornAt == fi.Size() && fi.Size() >= int64(walHeaderLen), nil
+}
+
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable. Filesystems that refuse directory fsync cost durability of the
+// namespace operation, not correctness of recovery, so the error is
+// swallowed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
+}

@@ -49,6 +49,11 @@
 // cmd/uncertserve exposes the same stack over HTTP/JSON, including a
 // streaming NDJSON endpoint (/query/stream) and per-request timeouts.
 //
+// The corpus can be made durable with OpenCorpus: mutations are written
+// ahead to a checksummed log, checkpoints bound recovery time, and a
+// restart (or crash) recovers the exact acknowledged state — same stable
+// IDs, same epochs, bit-identical query results.
+//
 // The cmd/uncertbench binary regenerates any figure:
 //
 //	uncertbench -exp fig5 -scale medium
@@ -72,6 +77,7 @@ import (
 	"uncertts/internal/query"
 	"uncertts/internal/server"
 	"uncertts/internal/stats"
+	"uncertts/internal/store"
 	"uncertts/internal/stream"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
@@ -316,6 +322,77 @@ type CorpusEntry = corpus.Entry
 
 // NewCorpus returns an empty corpus with the given artifact geometry.
 func NewCorpus(cfg CorpusConfig) *Corpus { return corpus.New(cfg) }
+
+// ---- Durable corpus ----
+
+// Store is the durability engine behind a corpus: an append-only,
+// CRC-checksummed write-ahead log of mutations, periodic checkpoint
+// snapshots, and background WAL compaction. Every mutation of the
+// corpus returned by Store.Corpus is logged with write-ahead ordering —
+// the log accepts the record before the mutation becomes visible to
+// readers, so an acknowledged mutation is never silently lost (under
+// SyncAlways not even by an OS crash). Store.Checkpoint serializes the
+// full corpus state and deletes the log segments it covers;
+// Store.Status feeds health endpoints; Store.Close flushes and stops.
+type Store = store.Store
+
+// StoreOptions configures OpenCorpus: fsync policy (SyncAlways /
+// SyncInterval), WAL segment size, automatic checkpoint threshold, and
+// read-only recovery.
+type StoreOptions = store.Options
+
+// StoreStatus is a point-in-time report of a store's health: current
+// epoch, WAL bytes a recovery would replay, last checkpoint epoch.
+type StoreStatus = store.Status
+
+// StoreSyncPolicy selects when WAL appends are forced to disk.
+type StoreSyncPolicy = store.SyncPolicy
+
+// Store sync policies: SyncAlways fsyncs before acknowledging each
+// mutation (durability), SyncInterval batches fsyncs on a timer
+// (throughput; a process crash still loses nothing, an OS crash can lose
+// up to one interval).
+const (
+	SyncAlways   = store.SyncAlways
+	SyncInterval = store.SyncInterval
+)
+
+// Durability sentinels: mutations against a closed store fail with
+// ErrStoreClosed, mutations against a read-only recovery with
+// ErrStoreReadOnly (both match via errors.Is).
+var (
+	ErrStoreClosed   = store.ErrClosed
+	ErrStoreReadOnly = store.ErrReadOnly
+)
+
+// OpenCorpus opens (or creates) a durable corpus in dir and recovers its
+// exact last acknowledged state: the newest valid checkpoint is loaded,
+// the write-ahead log past its epoch is replayed through the corpus'
+// own mutation path (same stable IDs, same epochs, bit-identical query
+// results), and a torn tail record left by a crash is truncated. cfg is
+// consulted only for a brand-new store; afterwards the persisted
+// configuration wins.
+//
+//	st, err := uncertts.OpenCorpus("/var/lib/uncertserve", uncertts.CorpusConfig{ReportedSigma: 0.6}, uncertts.StoreOptions{Sync: uncertts.SyncAlways})
+//	if err != nil { ... }
+//	defer st.Close()
+//	c := st.Corpus()                  // durable: every Insert/Delete is logged before it is visible
+//	id, err := c.Insert(uncertts.CorpusSeries{Values: obs})
+//	_ = st.Checkpoint()               // bound recovery time, compact the WAL
+//	_, _ = id, err
+//
+// cmd/uncertserve serves a durable corpus over HTTP (-data), cmd/uncertgen
+// seeds one from a generated workload (-out), and cmd/uncertquery queries
+// one directly (-data).
+func OpenCorpus(dir string, cfg CorpusConfig, opts StoreOptions) (*Store, error) {
+	return store.Open(dir, cfg, opts)
+}
+
+// ParseStoreSyncPolicy resolves a case-insensitive fsync policy name
+// ("always", "interval").
+func ParseStoreSyncPolicy(name string) (StoreSyncPolicy, error) {
+	return store.ParseSyncPolicy(name)
+}
 
 // ---- Query engine ----
 
