@@ -23,6 +23,19 @@
 // declarative Engine.Run wrapper against the direct prepared path, and
 // -replay-max bounds WAL replay against fresh ingest (replay rebuilds the
 // same artifacts and must stay in the same ballpark).
+//
+// Passing an explicit shape (-series/-length) or the bench-only preset
+// -scale large (100k series x 128 points) switches -bench to the
+// production-scale scan bench: the corpus is populated directly (no O(N^2)
+// ground truth), eps is calibrated from the query set's Euclidean 5-NN
+// distances, every selected measure's batched scan is timed through the
+// engine, and a layout A/B runs the identical Euclidean and DTW kernels
+// over the contiguous columnar arena versus scattered per-series heap
+// copies. -scan-max-ns turns the per-measure ns/op into a CI gate, and
+// -cpuprofile/-memprofile capture pprof profiles of either bench mode:
+//
+//	uncertbench -bench -scale large -json > BENCH_PR6.json
+//	uncertbench -bench -series 10000 -length 256 -measures euclidean,dtw -scan-max-ns 2000000000
 package main
 
 import (
@@ -33,6 +46,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,6 +77,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchTau  = fs.Float64("tau", 0.1, "probability threshold of the -bench probabilistic queries")
 		wrapMax   = fs.Float64("wrapper-max", 0, "fail if any measure's Run-path ns/op exceeds wrapper-max times the direct path (0 = no check; requires -bench)")
 		replayMax = fs.Float64("replay-max", 0, "fail if WAL replay ns/series exceeds replay-max times ingest ns/series (0 = no check; requires -bench)")
+
+		seriesN    = fs.Int("series", 0, "production-scale scan bench: corpus size (requires -bench; 0 = follow -scale)")
+		lengthN    = fs.Int("length", 0, "production-scale scan bench: series length (requires -bench; 0 = 128 when -series or -scale large selects the scan bench)")
+		queriesN   = fs.Int("queries", 8, "scan bench: number of query series")
+		samplesN   = fs.Int("samples", 3, "scan bench: repeated observations per timestamp (the MUNICH input; 0 disables MUNICH)")
+		workersN   = fs.Int("workers", 0, "scan bench: engine worker bound (0 = GOMAXPROCS)")
+		measures   = fs.String("measures", "all", "scan bench: comma-separated measures (euclidean,uma,uema,dtw,dust,proud,munich or 'all')")
+		scanMaxNs  = fs.Int64("scan-max-ns", 0, "fail if any scan-bench measure exceeds this ns/op (0 = no check; the CI regression gate)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the -bench run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the -bench run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,16 +113,74 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *replayMax < 0 {
 		return fmt.Errorf("-replay-max = %v must be non-negative", *replayMax)
 	}
-
-	sc, err := experiments.ParseScale(*scale)
-	if err != nil {
-		return err
+	if !*bench {
+		for name, set := range map[string]bool{
+			"-series": *seriesN != 0, "-length": *lengthN != 0,
+			"-scan-max-ns": *scanMaxNs != 0, "-cpuprofile": *cpuprofile != "",
+			"-memprofile": *memprofile != "",
+		} {
+			if set {
+				return fmt.Errorf("%s requires -bench", name)
+			}
+		}
+		if *scale == "large" {
+			return fmt.Errorf("-scale large is a bench-only preset (use with -bench)")
+		}
 	}
+	if *seriesN < 0 || *lengthN < 0 || *queriesN <= 0 || *samplesN < 0 || *workersN < 0 {
+		return fmt.Errorf("-series/-length/-samples/-workers must be non-negative and -queries positive")
+	}
+	if *scanMaxNs < 0 {
+		return fmt.Errorf("-scan-max-ns = %d must be non-negative", *scanMaxNs)
+	}
+
 	if *bench {
 		if *benchTau <= 0 || *benchTau >= 1 {
 			return fmt.Errorf("-tau = %v outside (0, 1)", *benchTau)
 		}
-		return runBench(stdout, stderr, sc, *seed, *benchTau, *jsonOut, *wrapMax, *replayMax)
+		// An explicit shape (or the large preset) selects the
+		// production-scale scan bench over the evaluation-workload bench:
+		// the latter computes an O(N^2) ground truth and tops out at a few
+		// hundred series.
+		if *seriesN > 0 || *lengthN > 0 || *scale == "large" {
+			if *wrapMax != 0 || *replayMax != 0 {
+				return fmt.Errorf("-wrapper-max/-replay-max apply to the workload bench, not the scan bench")
+			}
+			p := scanParams{
+				series: *seriesN, length: *lengthN, queries: *queriesN,
+				samples: *samplesN, workers: *workersN, seed: *seed,
+				tau: *benchTau, maxNs: *scanMaxNs,
+			}
+			if p.series == 0 {
+				p.series = 100_000
+			}
+			if p.length == 0 {
+				p.length = 128
+			}
+			if p.series < 2*p.queries {
+				return fmt.Errorf("-series = %d too small for %d queries", p.series, p.queries)
+			}
+			ms, err := parseMeasures(*measures, p.samples)
+			if err != nil {
+				return err
+			}
+			p.measures = ms
+			return withProfiles(*cpuprofile, *memprofile, func() error {
+				return runScanBench(stdout, stderr, p, *jsonOut)
+			})
+		}
+		sc, err := experiments.ParseScale(*scale)
+		if err != nil {
+			return err
+		}
+		return withProfiles(*cpuprofile, *memprofile, func() error {
+			return runBench(stdout, stderr, sc, *seed, *benchTau, *jsonOut, *wrapMax, *replayMax)
+		})
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
 	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed}
 
@@ -136,6 +219,83 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uncertbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseMeasures resolves the -measures list. "all" expands to every
+// measure, minus MUNICH when the bench corpus carries no samples (MUNICH
+// requires the repeated-observation model); naming munich explicitly with
+// -samples 0 is an error rather than a silent skip.
+func parseMeasures(spec string, samples int) ([]engine.Measure, error) {
+	if strings.EqualFold(spec, "all") {
+		ms := engine.Measures()
+		if samples == 0 {
+			kept := ms[:0]
+			for _, m := range ms {
+				if m != engine.MeasureMUNICH {
+					kept = append(kept, m)
+				}
+			}
+			ms = kept
+		}
+		return ms, nil
+	}
+	var ms []engine.Measure
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		m, err := engine.ParseMeasure(tok)
+		if err != nil {
+			return nil, err
+		}
+		if m == engine.MeasureMUNICH && samples == 0 {
+			return nil, fmt.Errorf("-measures munich requires -samples > 0")
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("-measures %q selects nothing", spec)
+	}
+	return ms, nil
+}
+
+// withProfiles brackets f with optional CPU and heap profiling.
+func withProfiles(cpuPath, memPath string, f func() error) error {
+	if cpuPath != "" {
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(mf)
+	}
+	return nil
+}
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // BenchResult is the machine-readable record of one measure's benchmark:
@@ -335,9 +495,7 @@ func runBench(stdout, stderr io.Writer, sc experiments.Scale, seed int64, tau fl
 	}
 
 	if asJSON {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(BenchReport{Measures: results, Store: storeRes})
+		return writeJSON(stdout, BenchReport{Measures: results, Store: storeRes})
 	}
 	fmt.Fprintf(stdout, "%-10s %14s %14s %14s %12s %12s %10s %10s\n", "measure", "ns/op", "direct-ns/op", "run-ns/op", "candidates", "completed", "abandoned", "pruned%")
 	for _, r := range results {

@@ -19,6 +19,17 @@ func TestFlagValidation(t *testing.T) {
 		"negative wrapper-max":      {"-bench", "-wrapper-max", "-1"},
 		"replay-max without bench":  {"-replay-max", "2"},
 		"negative replay-max":       {"-bench", "-replay-max", "-1"},
+		"series without bench":      {"-series", "100"},
+		"length without bench":      {"-length", "64"},
+		"scan-max-ns without bench": {"-scan-max-ns", "100"},
+		"cpuprofile without bench":  {"-cpuprofile", "cpu.out"},
+		"large without bench":       {"-scale", "large"},
+		"wrapper-max on scan bench": {"-bench", "-series", "100", "-wrapper-max", "1.1"},
+		"replay-max on scan bench":  {"-bench", "-series", "100", "-replay-max", "2"},
+		"unknown measure":           {"-bench", "-series", "100", "-measures", "nope"},
+		"munich without samples":    {"-bench", "-series", "100", "-measures", "munich", "-samples", "0"},
+		"too few series":            {"-bench", "-series", "10", "-queries", "8"},
+		"zero queries":              {"-bench", "-series", "100", "-queries", "0"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s (%v): expected an error", name, args)
@@ -92,5 +103,61 @@ func TestBenchJSON(t *testing.T) {
 		if !seen[m] {
 			t.Errorf("measure %s missing from bench output", m)
 		}
+	}
+}
+
+// TestScanBenchJSON drives the production-scale bench path at a toy shape
+// and validates its machine-readable report: all seven measures, the
+// accounting identity, and the Euclidean/DTW layout A/B records.
+func TestScanBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "-series", "600", "-length", "48", "-queries", "3", "-seed", "7", "-json"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var report ScanBenchReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("scan bench output is not JSON: %v\n%s", err, out.String())
+	}
+	if report.Series != 600 || report.Length != 48 || report.Queries != 3 {
+		t.Fatalf("report shape %+v does not echo the flags", report)
+	}
+	if report.Eps <= 0 || report.BuildNs <= 0 || report.CalibrateNs <= 0 {
+		t.Errorf("implausible report header %+v", report)
+	}
+	if len(report.Measures) != 7 {
+		t.Fatalf("got %d measures, want 7", len(report.Measures))
+	}
+	for _, r := range report.Measures {
+		if r.NsPerOp <= 0 || r.Candidates <= 0 {
+			t.Errorf("%s: implausible result %+v", r.Measure, r)
+		}
+		if sum := r.Completed + r.AbandonedEarly + r.PrunedByEnvelope + r.ResolvedByBounds + r.ResolvedEarly; sum != r.Candidates {
+			t.Errorf("%s: accounting identity broken: %+v", r.Measure, r)
+		}
+	}
+	kernels := map[string]bool{}
+	for _, l := range report.Layout {
+		kernels[l.Kernel] = true
+		if l.ArenaNsPerScan <= 0 || l.ScatteredNsPerScan <= 0 || l.ScatteredOverArena <= 0 {
+			t.Errorf("layout %s: implausible record %+v", l.Kernel, l)
+		}
+	}
+	if !kernels["euclidean"] || !kernels["dtw"] {
+		t.Errorf("layout records missing a kernel: %v", kernels)
+	}
+}
+
+// TestScanBenchGate proves -scan-max-ns fails the run on regression.
+func TestScanBenchGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	err := run([]string{"-bench", "-series", "300", "-length", "32", "-queries", "2",
+		"-measures", "euclidean", "-scan-max-ns", "1"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "scan regression") {
+		t.Fatalf("expected a scan regression error, got %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"uncertts/internal/arena"
 	"uncertts/internal/distance"
 	"uncertts/internal/dust"
 	"uncertts/internal/query"
@@ -196,17 +197,48 @@ func (m *FilteredMatcher) Name() string {
 	}
 }
 
-// Prepare filters every series in the workload once.
+// Prepare filters every series in the workload once. Two layers of the
+// columnar refactor show up here: when the matcher's parameters are exactly
+// the ones the workload's corpus filters with, the corpus-maintained
+// UMA/UEMA arena rows are aliased directly — no per-series computation or
+// allocation at all — and any vector that does need computing is packed
+// into one contiguous arena instead of one heap allocation per series.
 func (m *FilteredMatcher) Prepare(w *Workload) error {
 	m.w = w
 	m.name = m.Name()
 	m.filtered = make([][]float64, w.Len())
+	snap := w.Snapshot()
+	reuse := snap != nil && snap.Len() == w.Len() &&
+		(m.Kind == FilterUMA || m.Kind == FilterUEMA)
+	if reuse {
+		cfg := snap.Config()
+		reuse = m.W == cfg.W && m.Mode == cfg.Mode &&
+			(m.Kind == FilterUMA || m.Lambda == cfg.Lambda)
+	}
+	var ar *arena.Builder
 	for i, ps := range w.PDF {
-		f, err := m.filter(ps.Observations, w.Sigmas)
-		if err != nil {
+		if reuse {
+			// The corpus filtered each entry with its own per-entry sigmas;
+			// aliasing its row is bit-identical to recomputing exactly when
+			// those equal the sigmas this matcher would use.
+			ent := snap.Entry(i)
+			if equalFloats(ent.Sigmas, w.Sigmas) {
+				if m.Kind == FilterUMA {
+					m.filtered[i] = ent.UMA
+				} else {
+					m.filtered[i] = ent.UEMA
+				}
+				continue
+			}
+		}
+		if ar == nil || ar.Stride() != len(ps.Observations) {
+			ar = arena.NewBuilder(len(ps.Observations), w.Len()-i)
+		}
+		dst := ar.AppendZero()
+		if err := m.filterInto(dst, ps.Observations, w.Sigmas); err != nil {
 			return fmt.Errorf("core: %s: filtering series %d: %w", m.name, ps.ID, err)
 		}
-		m.filtered[i] = f
+		m.filtered[i] = dst
 	}
 	m.dist = func(qi, ci int) (float64, error) {
 		return distance.Euclidean(m.filtered[qi], m.filtered[ci])
@@ -214,17 +246,33 @@ func (m *FilteredMatcher) Prepare(w *Workload) error {
 	return nil
 }
 
-func (m *FilteredMatcher) filter(obs, sigmas []float64) ([]float64, error) {
+func (m *FilteredMatcher) filterInto(dst, obs, sigmas []float64) error {
 	switch m.Kind {
 	case FilterMA:
-		return timeseries.MovingAverage(obs, m.W), nil
+		timeseries.MovingAverageInto(dst, obs, m.W)
+		return nil
 	case FilterEMA:
-		return timeseries.ExponentialMovingAverage(obs, m.W, m.Lambda), nil
+		timeseries.ExponentialMovingAverageInto(dst, obs, m.W, m.Lambda)
+		return nil
 	case FilterUMA:
-		return timeseries.UncertainMovingAverage(obs, sigmas, m.W, m.Mode)
+		return timeseries.UncertainMovingAverageInto(dst, obs, sigmas, m.W, m.Mode)
 	case FilterUEMA:
-		return timeseries.UncertainExponentialMovingAverage(obs, sigmas, m.W, m.Lambda, m.Mode)
+		return timeseries.UncertainExponentialMovingAverageInto(dst, obs, sigmas, m.W, m.Lambda, m.Mode)
 	default:
-		return nil, fmt.Errorf("core: unknown filter kind %d", int(m.Kind))
+		return fmt.Errorf("core: unknown filter kind %d", int(m.Kind))
 	}
+}
+
+// equalFloats reports exact elementwise equality — the condition under
+// which aliasing a corpus artifact is bit-identical to recomputing it.
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }

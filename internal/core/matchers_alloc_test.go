@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"uncertts/internal/timeseries"
+	"uncertts/internal/ucr"
+	"uncertts/internal/uncertain"
+)
+
+// TestFilteredMatcherReusesCorpusArtifacts proves that a UMA/UEMA matcher
+// whose parameters match the workload corpus' filter configuration aliases
+// the corpus-maintained arena rows instead of recomputing them — and that
+// the aliased vectors are bit-identical to a from-scratch computation.
+func TestFilteredMatcherReusesCorpusArtifacts(t *testing.T) {
+	w := testWorkload(t, 0.3, 0)
+	snap := w.Snapshot()
+	cfg := snap.Config()
+
+	uma := NewUMAMatcher(cfg.W)
+	if err := uma.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	uema := NewUEMAMatcher(cfg.W, cfg.Lambda)
+	if err := uema.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Len(); i++ {
+		ent := snap.Entry(i)
+		if &uma.filtered[i][0] != &ent.UMA[0] {
+			t.Fatalf("series %d: UMA matcher did not alias the corpus arena row", i)
+		}
+		if &uema.filtered[i][0] != &ent.UEMA[0] {
+			t.Fatalf("series %d: UEMA matcher did not alias the corpus arena row", i)
+		}
+		want, err := timeseries.UncertainMovingAverage(w.PDF[i].Observations, w.Sigmas, cfg.W, cfg.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range want {
+			if uma.filtered[i][j] != v {
+				t.Fatalf("series %d[%d]: aliased UMA %v != recomputed %v", i, j, uma.filtered[i][j], v)
+			}
+		}
+	}
+
+	// A parameter mismatch must fall back to recomputing, not alias stale
+	// artifacts.
+	other := NewUMAMatcher(cfg.W + 1)
+	if err := other.Prepare(w); err != nil {
+		t.Fatal(err)
+	}
+	if &other.filtered[0][0] == &snap.Entry(0).UMA[0] {
+		t.Fatal("w-mismatched matcher aliased the corpus UMA row")
+	}
+}
+
+// TestFilteredMatcherPrepareAllocs is the allocation-counting guard for the
+// arena reuse: preparing a matching UMA/UEMA matcher must cost a small
+// constant number of allocations, independent of the number of series —
+// the pre-arena implementation allocated one vector per series.
+func TestFilteredMatcherPrepareAllocs(t *testing.T) {
+	w := testWorkload(t, 0.3, 0)
+	cfg := w.Snapshot().Config()
+	for _, kind := range []FilterKind{FilterUMA, FilterUEMA} {
+		m := &FilteredMatcher{Kind: kind, W: cfg.W, Lambda: cfg.Lambda, Mode: cfg.Mode}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := m.Prepare(w); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The constant covers the [][]float64 header, the name string and
+		// the distance closure. Anything scaling with w.Len()=30 fails.
+		if allocs > 8 {
+			t.Errorf("%s: Prepare allocated %.0f times, want a small constant", kind, allocs)
+		}
+	}
+}
+
+// BenchmarkFilteredMatcherPrepare reports allocations per Prepare for every
+// filter kind: UMA/UEMA alias the corpus arena (constant allocations),
+// MA/EMA pack their computed vectors into one contiguous arena block.
+func BenchmarkFilteredMatcherPrepare(b *testing.B) {
+	w := benchWorkload(b)
+	cfg := w.Snapshot().Config()
+	for _, m := range []*FilteredMatcher{
+		NewUMAMatcher(cfg.W),
+		NewUEMAMatcher(cfg.W, cfg.Lambda),
+		NewMAMatcher(cfg.W),
+		NewEMAMatcher(cfg.W, cfg.Lambda),
+	} {
+		b.Run(m.Kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.Prepare(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchWorkload(b *testing.B) *Workload {
+	b.Helper()
+	ds, err := ucr.Generate("CBF", ucr.Options{MaxSeries: 60, Length: 128, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := uncertain.NewConstantPerturber(uncertain.Normal, 0.3, 128, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorkload(ds, p, WorkloadConfig{K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}

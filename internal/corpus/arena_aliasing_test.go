@@ -1,0 +1,179 @@
+package corpus
+
+import (
+	"testing"
+)
+
+// artifactCopy deep-copies every float64 artifact view of a snapshot so a
+// later comparison can prove the views never changed underneath a reader.
+type artifactCopy struct {
+	values, sigmas, uma, uema, upper, lower, suffix []float64
+	envLo, envHi                                    []float64
+}
+
+func copyArtifacts(e *Entry) artifactCopy {
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	return artifactCopy{
+		values: cp(e.PDF.Observations),
+		sigmas: cp(e.Sigmas),
+		uma:    cp(e.UMA),
+		uema:   cp(e.UEMA),
+		upper:  cp(e.Upper),
+		lower:  cp(e.Lower),
+		suffix: cp(e.Suffix),
+		envLo:  cp(e.Env.Lo),
+		envHi:  cp(e.Env.Hi),
+	}
+}
+
+func checkArtifacts(t *testing.T, when string, e *Entry, want artifactCopy) {
+	t.Helper()
+	eq := func(name string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: entry %d: %s length changed %d -> %d", when, e.ID, name, len(want), len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: entry %d: %s[%d] changed %v -> %v", when, e.ID, name, i, want[i], got[i])
+			}
+		}
+	}
+	eq("values", e.PDF.Observations, want.values)
+	eq("sigmas", e.Sigmas, want.sigmas)
+	eq("uma", e.UMA, want.uma)
+	eq("uema", e.UEMA, want.uema)
+	eq("upper", e.Upper, want.upper)
+	eq("lower", e.Lower, want.lower)
+	eq("suffix", e.Suffix, want.suffix)
+	eq("envLo", e.Env.Lo, want.envLo)
+	eq("envHi", e.Env.Hi, want.envHi)
+}
+
+// TestSnapshotViewsSurviveMutation is the arena aliasing guarantee: a
+// snapshot's per-entry artifact views are subslices of the corpus' shared
+// arenas, yet no later mutation — appends that grow the arenas, deletes,
+// or the compaction they trigger — may ever change what a held snapshot
+// reads through them.
+func TestSnapshotViewsSurviveMutation(t *testing.T) {
+	c := New(Config{ReportedSigma: 0.5, Segments: 4})
+	ids, err := c.InsertBatch([]Series{
+		testSeries(24, 3, 0.1), testSeries(24, 3, 0.7),
+		testSeries(24, 3, 1.3), testSeries(24, 3, 2.9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := c.Snapshot()
+	if _, ok := s1.Columns(); !ok {
+		t.Fatal("insert-only snapshot is not dense")
+	}
+	want1 := make([]artifactCopy, s1.Len())
+	for i := range want1 {
+		want1[i] = copyArtifacts(s1.Entry(i))
+	}
+
+	// Appends beyond the captured row count: the arena may grow (and
+	// reallocate its backing array) many times over.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Insert(testSeries(24, 3, 10+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want1 {
+		checkArtifacts(t, "after growth", s1.Entry(i), want1[i])
+	}
+	if cols, ok := s1.Columns(); !ok {
+		t.Fatal("snapshot lost its columns")
+	} else if cols.Values.Rows() != s1.Len() {
+		t.Fatalf("snapshot columns expose %d rows, want %d", cols.Values.Rows(), s1.Len())
+	}
+
+	s2 := c.Snapshot()
+	want2 := make([]artifactCopy, s2.Len())
+	for i := range want2 {
+		want2[i] = copyArtifacts(s2.Entry(i))
+	}
+
+	// Delete well past the compaction threshold (dead > 25% of rows): the
+	// corpus compacts into fresh storage, and both held snapshots must
+	// keep reading their original bytes.
+	if err := c.Delete(ids...); err != nil {
+		t.Fatal(err)
+	}
+	snapIDs := c.Snapshot().IDs()
+	if err := c.Delete(snapIDs[:len(snapIDs)/2]...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want1 {
+		checkArtifacts(t, "after compaction", s1.Entry(i), want1[i])
+	}
+	for i := range want2 {
+		checkArtifacts(t, "after compaction", s2.Entry(i), want2[i])
+	}
+
+	// The post-compaction snapshot is dense again, and its rebuilt rows
+	// carry the same artifacts the surviving entries had before.
+	s3 := c.Snapshot()
+	cols, ok := s3.Columns()
+	if !ok {
+		t.Fatal("post-compaction snapshot is not dense")
+	}
+	if cols.Values.Rows() != s3.Len() {
+		t.Fatalf("compacted columns hold %d rows, want %d", cols.Values.Rows(), s3.Len())
+	}
+	for i := 0; i < s3.Len(); i++ {
+		e := s3.Entry(i)
+		pos, ok := s2.PosOf(e.ID)
+		if !ok {
+			t.Fatalf("compacted entry %d not in pre-delete snapshot", e.ID)
+		}
+		checkArtifacts(t, "compacted rows", e, want2[pos])
+		if &e.PDF.Observations[0] != &cols.Values.Row(i)[0] {
+			t.Fatalf("compacted entry %d does not alias its column row", e.ID)
+		}
+	}
+
+	// Inserting after compaction appends into the fresh arena without
+	// disturbing any of the above.
+	if _, err := c.Insert(testSeries(24, 3, 99)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want1 {
+		checkArtifacts(t, "after post-compaction insert", s1.Entry(i), want1[i])
+	}
+	for i := 0; i < s3.Len(); i++ {
+		pos, _ := s2.PosOf(s3.Entry(i).ID)
+		checkArtifacts(t, "after post-compaction insert", s3.Entry(i), want2[pos])
+	}
+}
+
+// TestFailedInsertRollsBackArena proves a rejected mutation leaves no
+// half-written rows behind: the staged arena rows are truncated and the
+// next successful insert reuses them.
+func TestFailedInsertRollsBackArena(t *testing.T) {
+	c := New(Config{ReportedSigma: 0.5})
+	if _, err := c.Insert(testSeries(16, 0, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Snapshot()
+	// A length-mismatched series fails validation after arena staging began.
+	if _, err := c.Insert(testSeries(9, 0, 0.5)); err == nil {
+		t.Fatal("length-mismatched insert succeeded")
+	}
+	if _, err := c.Insert(testSeries(16, 0, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	if after.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", after.Len())
+	}
+	cols, ok := after.Columns()
+	if !ok {
+		t.Fatal("snapshot not dense after rollback")
+	}
+	if cols.Values.Rows() != 2 {
+		t.Fatalf("columns hold %d rows, want 2", cols.Values.Rows())
+	}
+	checkArtifacts(t, "after rollback", before.Entry(0), copyArtifacts(after.Entry(0)))
+}

@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"uncertts/internal/arena"
+)
+
+// arenas bundles the columnar builders holding every float64 artifact of
+// the resident series: one arena per artifact, one row per entry, rows in
+// insertion order. All arenas always hold the same number of rows — every
+// successful insert appends exactly one row to each — so a single row index
+// addresses an entry's artifacts across all of them.
+//
+// The builders live on the Corpus (guarded by its write lock); snapshots
+// capture immutable arena.Matrix views at publication. Deletes leave dead
+// rows behind; compact() rebuilds the arenas densely once too much of the
+// storage is dead.
+type arenas struct {
+	values *arena.Builder // observations, stride n
+	sigmas *arena.Builder // per-timestamp error stddevs, stride n
+	uma    *arena.Builder // UMA-filtered vectors, stride n
+	uema   *arena.Builder // UEMA-filtered vectors, stride n
+	upper  *arena.Builder // LB_Keogh upper envelopes, stride n
+	lower  *arena.Builder // LB_Keogh lower envelopes, stride n
+	suffix *arena.Builder // PROUD suffix energies, stride n+1
+	envLo  *arena.Builder // MUNICH envelope minima, stride cfg.Segments
+	envHi  *arena.Builder // MUNICH envelope maxima, stride cfg.Segments
+}
+
+// newArenas allocates the builder set for a resolved geometry (cfg.Length
+// and cfg.Segments known), with capacity reserved for capRows series.
+func newArenas(cfg Config, capRows int) *arenas {
+	n := cfg.Length
+	return &arenas{
+		values: arena.NewBuilder(n, capRows),
+		sigmas: arena.NewBuilder(n, capRows),
+		uma:    arena.NewBuilder(n, capRows),
+		uema:   arena.NewBuilder(n, capRows),
+		upper:  arena.NewBuilder(n, capRows),
+		lower:  arena.NewBuilder(n, capRows),
+		suffix: arena.NewBuilder(n+1, capRows),
+		envLo:  arena.NewBuilder(cfg.Segments, capRows),
+		envHi:  arena.NewBuilder(cfg.Segments, capRows),
+	}
+}
+
+// rows returns the common row count.
+func (a *arenas) rows() int { return a.values.Rows() }
+
+// grow reserves capacity for extra more rows in every builder.
+func (a *arenas) grow(extra int) {
+	for _, b := range a.all() {
+		b.Grow(extra)
+	}
+}
+
+// truncate rolls every builder back to the given row count — the abort path
+// of a mutation that staged rows no snapshot has been captured over.
+func (a *arenas) truncate(rows int) {
+	for _, b := range a.all() {
+		b.Truncate(rows)
+	}
+}
+
+func (a *arenas) all() []*arena.Builder {
+	return []*arena.Builder{a.values, a.sigmas, a.uma, a.uema, a.upper, a.lower, a.suffix, a.envLo, a.envHi}
+}
+
+// compact rebuilds every arena with only the rows of the surviving entries,
+// in entry position order, in fresh storage (published snapshots keep
+// reading the old arrays), and returns the compacted set. Row i of the new
+// arenas holds entry i's artifacts — density restored.
+func (a *arenas) compact(keep []int) *arenas {
+	return &arenas{
+		values: a.values.Compact(keep),
+		sigmas: a.sigmas.Compact(keep),
+		uma:    a.uma.Compact(keep),
+		uema:   a.uema.Compact(keep),
+		upper:  a.upper.Compact(keep),
+		lower:  a.lower.Compact(keep),
+		suffix: a.suffix.Compact(keep),
+		envLo:  a.envLo.Compact(keep),
+		envHi:  a.envHi.Compact(keep),
+	}
+}
+
+// Columns is the dense columnar view of a snapshot: one arena.Matrix per
+// artifact, row i holding the artifact of the entry at position i. It is
+// only available on dense snapshots (no dead rows — see Snapshot.Columns);
+// engines use it to drive hot scans over contiguous memory instead of
+// chasing per-entry slice headers.
+type Columns struct {
+	// Values holds the observation vectors (stride = series length).
+	Values arena.Matrix
+	// Sigmas holds the per-timestamp error stddevs.
+	Sigmas arena.Matrix
+	// UMA and UEMA hold the filtered vectors of the corpus filter config.
+	UMA, UEMA arena.Matrix
+	// Upper and Lower hold the LB_Keogh envelopes for the corpus band.
+	Upper, Lower arena.Matrix
+	// Suffix holds PROUD's suffix energies (stride = series length + 1).
+	Suffix arena.Matrix
+	// EnvLo and EnvHi hold the MUNICH segment envelopes (stride =
+	// cfg.Segments; zero rows for series without samples).
+	EnvLo, EnvHi arena.Matrix
+}
+
+// capture freezes the current builder state as a columnar view.
+func (a *arenas) capture() *Columns {
+	return &Columns{
+		Values: a.values.Matrix(),
+		Sigmas: a.sigmas.Matrix(),
+		UMA:    a.uma.Matrix(),
+		UEMA:   a.uema.Matrix(),
+		Upper:  a.upper.Matrix(),
+		Lower:  a.lower.Matrix(),
+		Suffix: a.suffix.Matrix(),
+		EnvLo:  a.envLo.Matrix(),
+		EnvHi:  a.envHi.Matrix(),
+	}
+}

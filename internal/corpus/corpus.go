@@ -176,6 +176,11 @@ type Entry struct {
 	// fidelity bit a checkpoint needs to re-ingest the entry through the
 	// exact same code path.
 	OwnErrors bool
+
+	// row is the entry's row index in the corpus arenas at the time it was
+	// built (or last compacted). All float64 artifacts above are views into
+	// arena row `row`; compaction rewires fresh Entry copies to new rows.
+	row int
 }
 
 // Corpus is the mutable collection. All methods are safe for concurrent
@@ -187,6 +192,10 @@ type Corpus struct {
 	nextID int
 	d      *dust.Dust
 	hook   Hook
+	// ar holds the columnar arenas backing every resident entry's float64
+	// artifacts. Nil until the series length is resolved (the first insert,
+	// for corpora configured without a Length). Guarded by mu.
+	ar *arenas
 }
 
 // New returns an empty corpus with the given artifact geometry.
@@ -196,6 +205,8 @@ func New(cfg Config) *Corpus {
 	snap := &Snapshot{cfg: cfg, epoch: 0, pos: map[int]int{}, d: c.d}
 	if cfg.Length > 0 {
 		snap.finishGeometry()
+		c.ar = newArenas(snap.cfg, 0)
+		snap.cols = c.ar.capture()
 	}
 	c.cur.Store(snap)
 	return c
@@ -313,6 +324,11 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 		if cfg.ReportedSigma <= 0 {
 			cfg.ReportedSigma = deriveSigma(insert[0], cfg)
 		}
+		if c.ar == nil {
+			c.ar = newArenas(cfg, len(insert))
+		} else if len(insert) > 1 {
+			c.ar.grow(len(insert))
+		}
 	}
 
 	entries := make([]*Entry, 0, len(old.entries)+len(insert)-len(drop))
@@ -321,9 +337,23 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 			entries = append(entries, e)
 		}
 	}
+	// Inserts stage rows into the arenas as they build; an abort (bad
+	// series, rejected hook) must roll the staged rows back so the arenas
+	// stay aligned with the published entries. No snapshot has been captured
+	// over the staged rows, so truncation is safe.
+	committed := false
+	var mark int
+	if c.ar != nil {
+		mark = c.ar.rows()
+		defer func() {
+			if !committed {
+				c.ar.truncate(mark)
+			}
+		}()
+	}
 	var ids []int
 	for i, s := range insert {
-		e, err := buildEntry(c.nextID+i, s, cfg)
+		e, err := buildEntry(c.nextID+i, s, cfg, c.ar)
 		if err != nil {
 			return nil, err
 		}
@@ -336,9 +366,49 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 			return nil, fmt.Errorf("corpus: persistence hook rejected the mutation: %w", err)
 		}
 	}
+	committed = true
 	c.nextID += len(insert)
+	// Deletes leave dead rows behind; once more than a quarter of the arena
+	// is dead, rebuild it densely (published snapshots keep reading the old
+	// storage — compaction allocates fresh arrays and fresh Entry objects).
+	if c.ar != nil {
+		if dead := c.ar.rows() - len(entries); dead > 0 && dead*4 > c.ar.rows() {
+			entries = c.compactLocked(entries)
+		}
+	}
 	c.publish(cfg, old, entries)
 	return ids, nil
+}
+
+// compactLocked rebuilds the arenas with only the surviving entries' rows
+// and returns fresh Entry objects whose artifact views point into the new
+// storage. Old entries (still referenced by published snapshots) are left
+// untouched. Callers hold c.mu.
+func (c *Corpus) compactLocked(entries []*Entry) []*Entry {
+	keep := make([]int, len(entries))
+	for i, e := range entries {
+		keep[i] = e.row
+	}
+	na := c.ar.compact(keep)
+	cols := na.capture()
+	out := make([]*Entry, len(entries))
+	for i, e := range entries {
+		ne := *e
+		ne.row = i
+		ne.PDF.Observations = cols.Values.Row(i)
+		ne.Sigmas = cols.Sigmas.Row(i)
+		ne.UMA = cols.UMA.Row(i)
+		ne.UEMA = cols.UEMA.Row(i)
+		ne.Upper = cols.Upper.Row(i)
+		ne.Lower = cols.Lower.Row(i)
+		ne.Suffix = cols.Suffix.Row(i)
+		if ne.Samples != nil {
+			ne.Env = munich.Envelope{Lo: cols.EnvLo.Row(i), Hi: cols.EnvHi.Row(i)}
+		}
+		out[i] = &ne
+	}
+	c.ar = na
+	return out
 }
 
 // RestoredSeries pairs an ingestion record with the stable ID it held — the
@@ -364,6 +434,12 @@ func Restore(cfg Config, series []RestoredSeries, nextID int, epoch uint64) (*Co
 		return nil, fmt.Errorf("corpus: restore: negative next ID %d", nextID)
 	}
 	c := &Corpus{d: dust.New(cfg.DUST), nextID: nextID}
+	if cfg.Length > 0 {
+		cfg = cfg.resolveLength(cfg.Length)
+		// One exactly-sized allocation per arena up front: the bulk load
+		// then stages every series without a single growth copy.
+		c.ar = newArenas(cfg, len(series))
+	}
 	entries := make([]*Entry, 0, len(series))
 	seen := make(map[int]bool, len(series))
 	for _, rec := range series {
@@ -374,7 +450,7 @@ func Restore(cfg Config, series []RestoredSeries, nextID int, epoch uint64) (*Co
 			return nil, fmt.Errorf("corpus: restore: duplicate series ID %d", rec.ID)
 		}
 		seen[rec.ID] = true
-		e, err := buildEntry(rec.ID, rec.Series, cfg)
+		e, err := buildEntry(rec.ID, rec.Series, cfg, c.ar)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +462,9 @@ func Restore(cfg Config, series []RestoredSeries, nextID int, epoch uint64) (*Co
 	}
 	if cfg.Length > 0 {
 		snap.finishGeometry()
+	}
+	if c.ar != nil {
+		snap.cols = c.ar.capture()
 	}
 	c.cur.Store(snap)
 	return c, nil
@@ -406,6 +485,14 @@ func (c *Corpus) publish(cfg Config, old *Snapshot, entries []*Entry) {
 		snap.pos[e.ID] = i
 	}
 	snap.finishGeometry()
+	// A snapshot is dense — arena row i holds the artifacts of position i —
+	// exactly when no deleted rows await compaction, i.e. when the arena row
+	// count matches the entry count (rows and entries both grow in insertion
+	// order, and only deletes break the alignment). Dense snapshots carry
+	// the columnar view engines use for contiguous scans.
+	if c.ar != nil && c.ar.rows() == len(entries) {
+		snap.cols = c.ar.capture()
+	}
 	c.cur.Store(snap)
 }
 
@@ -428,14 +515,17 @@ func deriveSigma(s Series, cfg Config) float64 {
 }
 
 // buildEntry computes every derived artifact for one inserted series — the
-// whole cost of an insert, independent of the corpus size.
-func buildEntry(id int, s Series, cfg Config) (*Entry, error) {
+// whole cost of an insert, independent of the corpus size. The float64
+// artifacts are staged directly into the arenas (one new row each, computed
+// in place); on error the caller rolls the staged rows back, so a failed
+// build leaves no trace.
+func buildEntry(id int, s Series, cfg Config, ar *arenas) (*Entry, error) {
 	n := cfg.Length
 	if len(s.Values) != n {
 		return nil, fmt.Errorf("corpus: series has length %d, want %d (corpora require aligned series)", len(s.Values), n)
 	}
-	obs := make([]float64, n)
-	copy(obs, s.Values)
+	row := ar.rows()
+	obs := ar.values.Append(s.Values)
 
 	errs := s.Errors
 	if errs == nil {
@@ -463,26 +553,42 @@ func buildEntry(id int, s Series, cfg Config) (*Entry, error) {
 		ID:        id,
 		PDF:       uncertain.PDFSeries{Observations: obs, Errors: errs, Label: s.Label, ID: id},
 		OwnErrors: s.Errors != nil,
+		row:       row,
 	}
+	// Configured default sigmas are validated by the filters below (length
+	// mismatch aborts the insert) and only then copied into the arena, so
+	// the filter errors stay exactly as before the columnar refactor.
 	sigmas := cfg.Sigmas
-	if s.Errors != nil || sigmas == nil {
-		sigmas = make([]float64, n)
-		for i := range sigmas {
-			sigmas[i] = math.Sqrt(errs[i].Variance())
+	derived := s.Errors != nil || sigmas == nil
+	if derived {
+		sig := ar.sigmas.AppendZero()
+		for i := range sig {
+			sig[i] = math.Sqrt(errs[i].Variance())
 		}
+		sigmas = sig
 	}
-	e.Sigmas = sigmas
 
-	var err error
-	if e.UMA, err = timeseries.UncertainMovingAverage(obs, sigmas, cfg.W, cfg.Mode); err != nil {
+	e.UMA = ar.uma.AppendZero()
+	if err := timeseries.UncertainMovingAverageInto(e.UMA, obs, sigmas, cfg.W, cfg.Mode); err != nil {
 		return nil, fmt.Errorf("corpus: UMA filter: %w", err)
 	}
-	if e.UEMA, err = timeseries.UncertainExponentialMovingAverage(obs, sigmas, cfg.W, cfg.Lambda, cfg.Mode); err != nil {
+	e.UEMA = ar.uema.AppendZero()
+	if err := timeseries.UncertainExponentialMovingAverageInto(e.UEMA, obs, sigmas, cfg.W, cfg.Lambda, cfg.Mode); err != nil {
 		return nil, fmt.Errorf("corpus: UEMA filter: %w", err)
 	}
-	e.Upper, e.Lower = distance.Envelope(obs, cfg.Band)
-	e.Suffix = proud.SuffixEnergy(obs)
+	if !derived {
+		sigmas = ar.sigmas.Append(sigmas)
+	}
+	e.Sigmas = sigmas
+	e.Upper, e.Lower = ar.upper.AppendZero(), ar.lower.AppendZero()
+	distance.EnvelopeInto(e.Upper, e.Lower, obs, cfg.Band)
+	e.Suffix = ar.suffix.AppendZero()
+	proud.SuffixEnergyInto(e.Suffix, obs)
 
+	// Every arena gets its row even when the series carries no samples, to
+	// keep row indices aligned across artifacts; Env stays the zero value
+	// (its absence is what gates MUNICH).
+	envLo, envHi := ar.envLo.AppendZero(), ar.envHi.AppendZero()
 	if s.Samples != nil {
 		if len(s.Samples) != n {
 			return nil, fmt.Errorf("corpus: sample model has %d timestamps, want %d", len(s.Samples), n)
@@ -492,7 +598,8 @@ func buildEntry(id int, s Series, cfg Config) (*Entry, error) {
 			return nil, fmt.Errorf("corpus: %w", err)
 		}
 		e.Samples = &ss
-		e.Env = munich.BuildEnvelope(ss, cfg.Segments)
+		e.Env = munich.Envelope{Lo: envLo, Hi: envHi}
+		munich.BuildEnvelopeInto(e.Env, ss)
 	}
 	return e, nil
 }

@@ -19,6 +19,7 @@ type Snapshot struct {
 	d       *dust.Dust
 	spans   [][2]int // MUNICH segment geometry for cfg.Segments
 	nextID  int      // the ID the next insert will receive
+	cols    *Columns // dense columnar view; nil while dead rows await compaction
 }
 
 // finishGeometry resolves the derived geometry once cfg.Length is known.
@@ -86,6 +87,15 @@ func (s *Snapshot) Dust() *dust.Dust { return s.d }
 // Spans returns the MUNICH segment geometry every entry envelope was built
 // with.
 func (s *Snapshot) Spans() [][2]int { return s.spans }
+
+// Columns returns the snapshot's dense columnar arena view: row i of every
+// matrix holds the artifacts of the entry at position i, so a scan in
+// position order reads contiguous memory. It is available exactly when the
+// snapshot is dense — no deleted rows awaiting compaction — which is the
+// steady state (inserts preserve density, deletes break it until the
+// corpus compacts). ok=false means readers must fall back to the per-entry
+// views, which alias the same storage row by row.
+func (s *Snapshot) Columns() (*Columns, bool) { return s.cols, s.cols != nil }
 
 // DefaultErrors returns the per-timestamp error distributions attached to
 // series inserted without their own — the model ad-hoc queries adopt when

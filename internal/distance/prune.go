@@ -45,8 +45,17 @@ func Envelope(y []float64, r int) (upper, lower []float64) {
 	n := len(y)
 	upper = make([]float64, n)
 	lower = make([]float64, n)
+	EnvelopeInto(upper, lower, y, r)
+	return upper, lower
+}
+
+// EnvelopeInto computes Envelope into caller-provided upper and lower
+// slices (both must have len(y)) — the allocation-free form arena-backed
+// corpora use to build envelopes in place.
+func EnvelopeInto(upper, lower, y []float64, r int) {
+	n := len(y)
 	if n == 0 {
-		return upper, lower
+		return
 	}
 	if r < 0 || r >= n {
 		r = n - 1
@@ -84,7 +93,25 @@ func Envelope(y []float64, r int) (upper, lower []float64) {
 		upper[i] = y[maxDQ[0]]
 		lower[i] = y[minDQ[0]]
 	}
-	return upper, lower
+}
+
+// LBKimSquared is the O(1) first/last-point lower bound on the squared
+// banded-DTW path cost between x and y: every warping path aligns x[0] with
+// y[0] and x[n-1] with y[m-1], so those two squared point costs (one when
+// the series have a single point) are always paid. It is far weaker than
+// LB_Keogh but costs two subtractions, making it the first tier of the
+// prune cascade.
+func LBKimSquared(x, y []float64) float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	d0 := x[0] - y[0]
+	acc := d0 * d0
+	if len(x) > 1 || len(y) > 1 {
+		dn := x[len(x)-1] - y[len(y)-1]
+		acc += dn * dn
+	}
+	return acc
 }
 
 // LBKeoghSquared returns the LB_Keogh lower bound on the squared optimal
@@ -135,6 +162,32 @@ const dtwCancelStride = 32
 // is closed, returns an error wrapping qerr.ErrCancelled. A nil done never
 // cancels and computes exactly DTWBandEarlyAbandon.
 func DTWBandEarlyAbandonCancel(x, y []float64, band int, cutoff float64, done <-chan struct{}) (float64, bool, error) {
+	return DTWBandEarlyAbandonScratch(x, y, band, cutoff, done, nil)
+}
+
+// DTWScratch holds the two DP rows a banded-DTW evaluation needs, so a scan
+// over many candidates reuses one pair of buffers instead of allocating per
+// call. The zero value is ready to use; it grows on demand and is not safe
+// for concurrent use (give each worker its own).
+type DTWScratch struct {
+	prev, curr []float64
+}
+
+// rows returns the two DP rows sized for a series of length m, growing the
+// scratch buffers if needed.
+func (s *DTWScratch) rows(m int) (prev, curr []float64) {
+	if cap(s.prev) < m+1 {
+		s.prev = make([]float64, m+1)
+		s.curr = make([]float64, m+1)
+	}
+	return s.prev[:m+1], s.curr[:m+1]
+}
+
+// DTWBandEarlyAbandonScratch is DTWBandEarlyAbandonCancel with caller-owned
+// DP scratch. A nil scratch allocates fresh rows, computing exactly
+// DTWBandEarlyAbandonCancel; the arithmetic is identical either way, so the
+// results are bit-for-bit the same.
+func DTWBandEarlyAbandonScratch(x, y []float64, band int, cutoff float64, done <-chan struct{}, scratch *DTWScratch) (float64, bool, error) {
 	n, m := len(x), len(y)
 	if n == 0 || m == 0 {
 		return 0, false, fmt.Errorf("distance: DTW over empty series")
@@ -142,8 +195,13 @@ func DTWBandEarlyAbandonCancel(x, y []float64, band int, cutoff float64, done <-
 	if band >= 0 && abs(n-m) > band {
 		return 0, false, fmt.Errorf("distance: DTW band %d narrower than length difference %d", band, abs(n-m))
 	}
-	prev := make([]float64, m+1)
-	curr := make([]float64, m+1)
+	var prev, curr []float64
+	if scratch != nil {
+		prev, curr = scratch.rows(m)
+	} else {
+		prev = make([]float64, m+1)
+		curr = make([]float64, m+1)
+	}
 	for j := range prev {
 		prev[j] = math.Inf(1)
 	}

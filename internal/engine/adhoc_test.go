@@ -372,14 +372,14 @@ func TestEngineReusesCorpusArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if &dtw.upper[0][0] != &snap.Entry(0).Upper[0] {
+	if &dtw.upper.at(0)[0] != &snap.Entry(0).Upper[0] {
 		t.Error("DTW engine did not alias the corpus envelopes")
 	}
 	uma, err := NewFromSnapshot(snap, Options{Measure: MeasureUMA})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if &uma.vecs[0][0] != &snap.Entry(0).UMA[0] {
+	if &uma.vecs.at(0)[0] != &snap.Entry(0).UMA[0] {
 		t.Error("UMA engine did not alias the corpus filtered vectors")
 	}
 	du, err := NewFromSnapshot(snap, Options{Measure: MeasureDUST})
@@ -402,7 +402,7 @@ func TestEngineReusesCorpusArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if &dtw2.upper[0][0] == &snap.Entry(0).Upper[0] {
+	if &dtw2.upper.at(0)[0] == &snap.Entry(0).Upper[0] {
 		t.Error("band-mismatched DTW engine aliased the wrong envelopes")
 	}
 	if _, err := dtw2.TopK(0, 3); err != nil {

@@ -64,6 +64,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"uncertts/internal/arena"
 	"uncertts/internal/core"
 	"uncertts/internal/corpus"
 	"uncertts/internal/distance"
@@ -73,6 +74,26 @@ import (
 	"uncertts/internal/query"
 	"uncertts/internal/timeseries"
 )
+
+// rows is the engine's per-candidate vector table in one of two layouts:
+// a dense arena matrix (the fast path — row ci is arithmetic into one
+// contiguous array, so a scan in candidate order is a sequential read) or a
+// plain slice of views (the fallback for non-dense snapshots and for
+// vectors derived locally when the engine options diverge from the corpus
+// geometry). Both layouts serve bit-identical values.
+type rows struct {
+	mat   arena.Matrix
+	views [][]float64
+}
+
+func matRows(m arena.Matrix) rows { return rows{mat: m} }
+func viewRows(v [][]float64) rows { return rows{views: v} }
+func (r rows) at(ci int) []float64 {
+	if r.views != nil {
+		return r.views[ci]
+	}
+	return r.mat.Row(ci)
+}
 
 // Measure selects the similarity measure the engine serves.
 type Measure int
@@ -244,11 +265,11 @@ type Engine struct {
 	opts Options
 	band int
 
-	vecs         [][]float64       // scanned vectors (observations or filtered)
-	upper, lower [][]float64       // per-series LB_Keogh envelopes (DTW only)
+	vecs         rows              // scanned vectors (observations or filtered)
+	upper, lower rows              // per-series LB_Keogh envelopes (DTW only)
 	dust         *dust.Dust        // shared evaluator (DUST only)
 	varD         float64           // per-timestamp D_i variance sum (PROUD only)
-	suffix       [][]float64       // per-series suffix energies (PROUD only)
+	suffix       rows              // per-series suffix energies (PROUD only)
 	envs         []munich.Envelope // per-series segment envelopes (MUNICH only)
 	spans        [][2]int          // MUNICH segment geometry
 	segments     int               // resolved MUNICH segment count
@@ -290,6 +311,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 	}
 	e := &Engine{snap: snap, opts: opts}
 	n := snap.SeriesLen()
+	cols, dense := snap.Columns()
 
 	switch opts.Measure {
 	case MeasureEuclidean:
@@ -297,14 +319,22 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 	case MeasureUMA, MeasureUEMA:
 		reuse := opts.W == cfg.W && opts.Mode == cfg.Mode &&
 			(opts.Measure == MeasureUMA || opts.Lambda == cfg.Lambda)
-		e.vecs = make([][]float64, snap.Len())
+		if reuse && dense {
+			if opts.Measure == MeasureUMA {
+				e.vecs = matRows(cols.UMA)
+			} else {
+				e.vecs = matRows(cols.UEMA)
+			}
+			break
+		}
+		vecs := make([][]float64, snap.Len())
 		for i := 0; i < snap.Len(); i++ {
 			ent := snap.Entry(i)
 			if reuse {
 				if opts.Measure == MeasureUMA {
-					e.vecs[i] = ent.UMA
+					vecs[i] = ent.UMA
 				} else {
-					e.vecs[i] = ent.UEMA
+					vecs[i] = ent.UEMA
 				}
 				continue
 			}
@@ -318,8 +348,9 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 			if err != nil {
 				return nil, fmt.Errorf("engine: filtering series %d: %w", ent.ID, err)
 			}
-			e.vecs[i] = f
+			vecs[i] = f
 		}
+		e.vecs = viewRows(vecs)
 	case MeasureDTW:
 		e.vecs = observations(snap)
 		e.band = opts.Band
@@ -329,15 +360,20 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 				e.band = 1
 			}
 		}
-		e.upper = make([][]float64, snap.Len())
-		e.lower = make([][]float64, snap.Len())
+		if e.band == cfg.Band && dense {
+			e.upper, e.lower = matRows(cols.Upper), matRows(cols.Lower)
+			break
+		}
+		upper := make([][]float64, snap.Len())
+		lower := make([][]float64, snap.Len())
 		for i := 0; i < snap.Len(); i++ {
 			if ent := snap.Entry(i); e.band == cfg.Band {
-				e.upper[i], e.lower[i] = ent.Upper, ent.Lower
+				upper[i], lower[i] = ent.Upper, ent.Lower
 			} else {
-				e.upper[i], e.lower[i] = distance.Envelope(e.vecs[i], e.band)
+				upper[i], lower[i] = distance.Envelope(e.vecs.at(i), e.band)
 			}
 		}
+		e.upper, e.lower = viewRows(upper), viewRows(lower)
 	case MeasureDUST:
 		if opts.DUST == cfg.DUST {
 			e.dust = snap.Dust()
@@ -350,9 +386,14 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 		// (QuerySigma and CandSigma both the snapshot's reported sigma).
 		sigma := snap.ReportedSigma()
 		e.varD = sigma*sigma + sigma*sigma
-		e.suffix = make([][]float64, snap.Len())
-		for i := 0; i < snap.Len(); i++ {
-			e.suffix[i] = snap.Entry(i).Suffix
+		if dense {
+			e.suffix = matRows(cols.Suffix)
+		} else {
+			suffix := make([][]float64, snap.Len())
+			for i := 0; i < snap.Len(); i++ {
+				suffix[i] = snap.Entry(i).Suffix
+			}
+			e.suffix = viewRows(suffix)
 		}
 	case MeasureMUNICH:
 		if !snap.HasSamples() {
@@ -381,12 +422,15 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-func observations(snap *corpus.Snapshot) [][]float64 {
+func observations(snap *corpus.Snapshot) rows {
+	if cols, ok := snap.Columns(); ok {
+		return matRows(cols.Values)
+	}
 	out := make([][]float64, snap.Len())
 	for i := range out {
 		out[i] = snap.Entry(i).PDF.Observations
 	}
-	return out
+	return viewRows(out)
 }
 
 // Measure reports the measure the engine was built for.
@@ -430,15 +474,17 @@ func (e *Engine) uncount() { e.candidates.Add(-1) }
 // lower bound or abandoned mid-scan and cannot have distance <= the
 // distance whose square the cutoff came from. done (nil = never) threads
 // cooperative cancellation into the one kernel long enough to need
-// mid-candidate polling, the DTW row loop.
-func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64, done <-chan struct{}) (float64, bool, error) {
+// mid-candidate polling, the DTW row loop. scratch (nil = allocate) lends
+// the DTW kernel its DP rows; workers keep one per work loop so the hot
+// path allocates nothing per candidate.
+func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64, done <-chan struct{}, scratch *distance.DTWScratch) (float64, bool, error) {
 	e.candidates.Add(1)
 	if e.opts.NoPrune {
 		cutoff2 = math.Inf(1)
 	}
 	switch e.opts.Measure {
 	case MeasureEuclidean, MeasureUMA, MeasureUEMA:
-		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(pq.vec, e.vecs[ci], cutoff2)
+		d2, complete, err := distance.SquaredEuclideanEarlyAbandon(pq.vec, e.vecs.at(ci), cutoff2)
 		if err != nil {
 			e.uncount()
 			return 0, false, err
@@ -450,7 +496,16 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64, done <-c
 		e.completed.Add(1)
 		return math.Sqrt(d2), true, nil
 	case MeasureDTW:
-		lb, err := distance.LBKeoghSquared(pq.vec, e.upper[ci], e.lower[ci], cutoff2)
+		// Tiered prune cascade, cheapest first: the O(1) LB_Kim endpoint
+		// bound, then the O(n) LB_Keogh envelope bound, then the
+		// early-abandoning DP itself. Every tier is a sound lower bound on
+		// DTW^2, so a candidate any tier excludes could never have completed
+		// under the cutoff — results are identical, only cheaper.
+		if distance.LBKimSquared(pq.vec, e.vecs.at(ci)) > cutoff2 {
+			e.pruned.Add(1)
+			return 0, false, nil
+		}
+		lb, err := distance.LBKeoghSquared(pq.vec, e.upper.at(ci), e.lower.at(ci), cutoff2)
 		if err != nil {
 			e.uncount()
 			return 0, false, err
@@ -459,7 +514,7 @@ func (e *Engine) distPruned(pq *PreparedQuery, ci int, cutoff2 float64, done <-c
 			e.pruned.Add(1)
 			return 0, false, nil
 		}
-		d, complete, err := distance.DTWBandEarlyAbandonCancel(pq.vec, e.vecs[ci], e.band, cutoff2, done)
+		d, complete, err := distance.DTWBandEarlyAbandonScratch(pq.vec, e.vecs.at(ci), e.band, cutoff2, done, scratch)
 		if err != nil {
 			e.uncount()
 			return 0, false, err
@@ -501,7 +556,7 @@ func (e *Engine) Distance(qi, ci int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d, _, err := e.distPruned(pq, ci, math.Inf(1), nil)
+	d, _, err := e.distPruned(pq, ci, math.Inf(1), nil, nil)
 	return d, err
 }
 
@@ -681,6 +736,7 @@ func (e *Engine) topKPrepared(ctx context.Context, pqs []*PreparedQuery, k int) 
 	buckets := make([][]query.Neighbor, len(pqs)*numShards)
 
 	err := core.RunShardedCtx(ctx, len(pqs)*numShards, 1, e.workersFor(pqs), func(lo, hi int) error {
+		var scratch distance.DTWScratch // one DP-row pair per work batch, not per candidate
 		for item := lo; item < hi; item++ {
 			q, shard := item/numShards, item%numShards
 			pq := pqs[q]
@@ -700,7 +756,7 @@ func (e *Engine) topKPrepared(ctx context.Context, pqs []*PreparedQuery, k int) 
 						cut = t
 					}
 				}
-				d, ok, err := e.distPruned(pq, ci, cut, done)
+				d, ok, err := e.distPruned(pq, ci, cut, done, &scratch)
 				if err != nil {
 					return fmt.Errorf("engine: query %d candidate %d: %w", q, ci, err)
 				}
@@ -775,6 +831,7 @@ func (e *Engine) rangePrepared(ctx context.Context, pq *PreparedQuery, eps float
 
 	buckets := make([][]int, numShards)
 	err := core.RunShardedCtx(ctx, numShards, 1, e.workersFor([]*PreparedQuery{pq}), func(lo, hi int) error {
+		var scratch distance.DTWScratch // one DP-row pair per work batch, not per candidate
 		for shard := lo; shard < hi; shard++ {
 			cLo, cHi := shard*shardSize, (shard+1)*shardSize
 			if cHi > n {
@@ -785,7 +842,7 @@ func (e *Engine) rangePrepared(ctx context.Context, pq *PreparedQuery, eps float
 				if ci == pq.self {
 					continue
 				}
-				d, ok, err := e.distPruned(pq, ci, cutoff2, done)
+				d, ok, err := e.distPruned(pq, ci, cutoff2, done, &scratch)
 				if err != nil {
 					return fmt.Errorf("engine: candidate %d: %w", ci, err)
 				}

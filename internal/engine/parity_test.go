@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"uncertts/internal/corpus"
+)
+
+func paritySeries(length, samplesPerTS int, seed float64) corpus.Series {
+	s := corpus.Series{Values: make([]float64, length)}
+	for i := range s.Values {
+		s.Values[i] = math.Sin(seed+float64(i)*0.31) + 0.2*math.Cos(seed*1.7+float64(i)*0.11)
+	}
+	if samplesPerTS > 0 {
+		s.Samples = make([][]float64, length)
+		for i := range s.Samples {
+			row := make([]float64, samplesPerTS)
+			for j := range row {
+				row[j] = s.Values[i] + 0.15*math.Sin(seed+float64(i*samplesPerTS+j))
+			}
+			s.Samples[i] = row
+		}
+	}
+	return s
+}
+
+// TestArenaSliceParityAllMeasures is the bit-identity property of the
+// columnar refactor: an engine reading through the dense arena fast path
+// and an engine reading the same data through the slice-backed fallback
+// (a snapshot with deleted rows awaiting compaction) must return exactly
+// the same answers — same IDs, same float64 bits — for every measure,
+// every query shape, and every worker count.
+func TestArenaSliceParityAllMeasures(t *testing.T) {
+	const n, length, samples = 24, 32, 4
+	c := corpus.New(corpus.Config{ReportedSigma: 0.4, Segments: 8})
+	batch := make([]corpus.Series, n)
+	for i := range batch {
+		batch[i] = paritySeries(length, samples, float64(i)*0.83)
+	}
+	if _, err := c.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	dense := c.Snapshot()
+	if _, ok := dense.Columns(); !ok {
+		t.Fatal("insert-only snapshot is not dense")
+	}
+	// Two sacrificial inserts plus their deletes leave the same n entries
+	// resident but the arena sparse (2 dead rows of 26 stays under the
+	// compaction threshold), forcing every engine fallback path.
+	extra, err := c.InsertBatch([]corpus.Series{
+		paritySeries(length, samples, 50.5), paritySeries(length, samples, 51.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(extra...); err != nil {
+		t.Fatal(err)
+	}
+	sparse := c.Snapshot()
+	if _, ok := sparse.Columns(); ok {
+		t.Fatal("post-delete snapshot is unexpectedly dense")
+	}
+	if sparse.Len() != n {
+		t.Fatalf("sparse snapshot holds %d series, want %d", sparse.Len(), n)
+	}
+
+	for _, base := range []Options{
+		{Measure: MeasureEuclidean},
+		{Measure: MeasureUMA},
+		{Measure: MeasureUEMA},
+		{Measure: MeasureDTW},
+		{Measure: MeasureDUST},
+		{Measure: MeasurePROUD},
+		{Measure: MeasureMUNICH},
+	} {
+		for _, workers := range []int{1, 2, 8} {
+			opts := base
+			opts.Workers = workers
+			opts.ShardSize = 5 // many shards, so parallelism is exercised
+			ed, err := NewFromSnapshot(dense, opts)
+			if err != nil {
+				t.Fatalf("%s/w=%d: dense engine: %v", base.Measure, workers, err)
+			}
+			es, err := NewFromSnapshot(sparse, opts)
+			if err != nil {
+				t.Fatalf("%s/w=%d: sparse engine: %v", base.Measure, workers, err)
+			}
+			for _, qi := range []int{0, 7, 23} {
+				if base.Measure.Probabilistic() {
+					eps := obsEuclidean(t, dense, qi, (qi+5)%n) * 1.05
+					gotR, err1 := ed.ProbRange(qi, eps, 0.3)
+					wantR, err2 := es.ProbRange(qi, eps, 0.3)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%s/w=%d q=%d: ProbRange errs %v / %v", base.Measure, workers, qi, err1, err2)
+					}
+					if !reflect.DeepEqual(gotR, wantR) {
+						t.Errorf("%s/w=%d q=%d: ProbRange dense %v != sparse %v", base.Measure, workers, qi, gotR, wantR)
+					}
+					gotK, err1 := ed.ProbTopK(qi, eps, 4)
+					wantK, err2 := es.ProbTopK(qi, eps, 4)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%s/w=%d q=%d: ProbTopK errs %v / %v", base.Measure, workers, qi, err1, err2)
+					}
+					if !reflect.DeepEqual(gotK, wantK) {
+						t.Errorf("%s/w=%d q=%d: ProbTopK dense %v != sparse %v", base.Measure, workers, qi, gotK, wantK)
+					}
+					continue
+				}
+				gotK, err1 := ed.TopK(qi, 5)
+				wantK, err2 := es.TopK(qi, 5)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s/w=%d q=%d: TopK errs %v / %v", base.Measure, workers, qi, err1, err2)
+				}
+				if !reflect.DeepEqual(gotK, wantK) {
+					t.Errorf("%s/w=%d q=%d: TopK dense %v != sparse %v", base.Measure, workers, qi, gotK, wantK)
+				}
+				eps, err := ed.Distance(qi, (qi+5)%n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eps *= 1.1
+				gotR, err1 := ed.Range(qi, eps)
+				wantR, err2 := es.Range(qi, eps)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s/w=%d q=%d: Range errs %v / %v", base.Measure, workers, qi, err1, err2)
+				}
+				if !reflect.DeepEqual(gotR, wantR) {
+					t.Errorf("%s/w=%d q=%d: Range dense %v != sparse %v", base.Measure, workers, qi, gotR, wantR)
+				}
+			}
+		}
+	}
+}
+
+// obsEuclidean computes the plain Euclidean distance between the
+// observation vectors at two snapshot positions — the eps space the
+// probabilistic measures quantify over.
+func obsEuclidean(t *testing.T, snap *corpus.Snapshot, qi, ci int) float64 {
+	t.Helper()
+	a, b := snap.Entry(qi).PDF.Observations, snap.Entry(ci).PDF.Observations
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc)
+}

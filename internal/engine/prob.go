@@ -413,7 +413,7 @@ func (e *Engine) probTopKPrepared(ctx context.Context, pqs []*PreparedQuery, eps
 // single long accumulation stops promptly on cancellation.
 func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64, done <-chan struct{}) (bool, error) {
 	e.candidates.Add(1)
-	q, c := pq.vec, e.vecs[ci]
+	q, c := pq.vec, e.vecs.at(ci)
 	n := len(q)
 	varD := pq.varD
 	var mean, variance float64
@@ -441,7 +441,7 @@ func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64, d
 		if e.opts.NoPrune {
 			continue
 		}
-		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
+		gap := 2 * (pq.suffix[t] + e.suffix.at(ci)[t])
 		switch proud.PrefixDecide(mean, variance, n-t, varD, gap, eps, epsLimit) {
 		case proud.Accept:
 			e.resolvedEarly.Add(1)
@@ -462,7 +462,7 @@ func (e *Engine) proudAccept(pq *PreparedQuery, ci int, eps, epsLimit float64, d
 // stride.
 func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64, done <-chan struct{}) (float64, bool, error) {
 	e.candidates.Add(1)
-	q, c := pq.vec, e.vecs[ci]
+	q, c := pq.vec, e.vecs.at(ci)
 	n := len(q)
 	varD := pq.varD
 	var mean, variance float64
@@ -490,7 +490,7 @@ func (e *Engine) proudProb(pq *PreparedQuery, ci int, eps, cut float64, done <-c
 		if e.opts.NoPrune || math.IsInf(cut, -1) {
 			continue
 		}
-		gap := 2 * (pq.suffix[t] + e.suffix[ci][t])
+		gap := 2 * (pq.suffix[t] + e.suffix.at(ci)[t])
 		if proud.ProbWithinUpper(mean, variance, n-t, varD, gap, eps) < cut-probBoundMargin {
 			e.abandoned.Add(1)
 			return 0, false, nil

@@ -73,12 +73,12 @@ func (e *Engine) PrepareIndex(qi int) (*PreparedQuery, error) {
 	ent := e.snap.Entry(qi)
 	switch e.opts.Measure {
 	case MeasureEuclidean, MeasureUMA, MeasureUEMA, MeasureDTW:
-		pq.vec = e.vecs[qi]
+		pq.vec = e.vecs.at(qi)
 	case MeasureDUST:
 		pq.pdf = ent.PDF
 	case MeasurePROUD:
-		pq.vec = e.vecs[qi]
-		pq.suffix = e.suffix[qi]
+		pq.vec = e.vecs.at(qi)
+		pq.suffix = e.suffix.at(qi)
 		pq.varD = e.varD
 	case MeasureMUNICH:
 		pq.sample = *ent.Samples

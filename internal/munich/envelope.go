@@ -51,6 +51,16 @@ func BuildEnvelope(s uncertain.SampleSeries, segments int) Envelope {
 	n := s.Len()
 	segments = ClampSegments(n, segments)
 	e := Envelope{Lo: make([]float64, segments), Hi: make([]float64, segments)}
+	BuildEnvelopeInto(e, s)
+	return e
+}
+
+// BuildEnvelopeInto fills a pre-shaped envelope (Lo and Hi already sized to
+// the clamped segment count) from a sample series — the allocation-free form
+// arena-backed corpora use, with Lo and Hi pointing into envelope arenas.
+func BuildEnvelopeInto(e Envelope, s uncertain.SampleSeries) {
+	n := s.Len()
+	segments := len(e.Lo)
 	for seg := 0; seg < segments; seg++ {
 		start := seg * n / segments
 		end := (seg + 1) * n / segments
@@ -63,7 +73,6 @@ func BuildEnvelope(s uncertain.SampleSeries, segments int) Envelope {
 		e.Lo[seg] = lo
 		e.Hi[seg] = hi
 	}
-	return e
 }
 
 // EnvelopeLowerBound returns a lower bound on every feasible Euclidean

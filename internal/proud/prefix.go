@@ -25,10 +25,18 @@ import (
 // unseen squared-gap energy sum_{j >= t} (q_j - c_j)^2.
 func SuffixEnergy(obs []float64) []float64 {
 	out := make([]float64, len(obs)+1)
-	for t := len(obs) - 1; t >= 0; t-- {
-		out[t] = out[t+1] + obs[t]*obs[t]
-	}
+	SuffixEnergyInto(out, obs)
 	return out
+}
+
+// SuffixEnergyInto computes SuffixEnergy into dst, which must have length
+// len(obs)+1 — the allocation-free form arena-backed corpora use (suffix
+// arenas have stride length+1).
+func SuffixEnergyInto(dst, obs []float64) {
+	dst[len(obs)] = 0
+	for t := len(obs) - 1; t >= 0; t-- {
+		dst[t] = dst[t+1] + obs[t]*obs[t]
+	}
 }
 
 // momentBounds returns conservative bounds on the eventual distance moments

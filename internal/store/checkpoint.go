@@ -13,10 +13,27 @@ import (
 	"uncertts/internal/corpus"
 )
 
-// A checkpoint file serializes one full corpus state at a recorded epoch:
+// A checkpoint file serializes one full corpus state at a recorded epoch.
+// Two format versions exist, distinguished by magic:
+//
+//	| magic "UCKPT002" | u32 CRC32-C(body) | body |
+//	body: | u64 epoch | i64 nextID | config | u32 n |
+//	      | u64 total | total x f64 |                  (all values, row-major)
+//	      | n x (i64 id, label/errors/samples tail) |
+//
+// V2 is the arena fast path: every series' observation vector lives in one
+// flat row-major block (n x length), written straight out of the corpus'
+// columnar arena when the snapshot is dense and decoded as a single
+// allocation whose rows are subslice views — so a bulk restore performs one
+// block read plus one copy into the new corpus arena, instead of one
+// allocation and one copy per series.
 //
 //	| magic "UCKPT001" | u32 CRC32-C(body) | body |
 //	body: | u64 epoch | i64 nextID | config | u32 n | n x (i64 id, series) |
+//
+// V1 interleaves each series' values with its record. New checkpoints are
+// always written as V2; readers accept both forever, so corpora
+// checkpointed before the columnar refactor keep recovering.
 //
 // Checkpoints are written to a temporary file, fsynced, and renamed into
 // place, so a crash mid-checkpoint leaves at worst an ignorable *.tmp —
@@ -27,7 +44,10 @@ import (
 // rebuild through the corpus' incremental-maintenance path and would
 // bloat the file many times over.
 
-const ckptMagic = "UCKPT001"
+const (
+	ckptMagicV1 = "UCKPT001"
+	ckptMagic   = "UCKPT002"
+)
 
 func checkpointName(epoch uint64) string { return fmt.Sprintf("checkpoint-%016x.ckpt", epoch) }
 
@@ -68,8 +88,47 @@ type checkpointState struct {
 	series []corpus.RestoredSeries
 }
 
-// encodeCheckpoint renders a snapshot as a checkpoint body.
+// encodeCheckpoint renders a snapshot as a V2 (columnar) checkpoint body.
 func encodeCheckpoint(snap *corpus.Snapshot) ([]byte, error) {
+	var e enc
+	e.u64(snap.Epoch())
+	e.i64(int64(snap.NextID()))
+	if err := e.config(snap.Config()); err != nil {
+		return nil, err
+	}
+	n := snap.Len()
+	e.u32(uint32(n))
+	length := snap.SeriesLen()
+	e.u64(uint64(n * length))
+	if cols, ok := snap.Columns(); ok && cols.Values.Rows() == n {
+		// Dense snapshot: the arena's backing array IS the block.
+		e.f64Block(cols.Values.Data())
+	} else {
+		for i := 0; i < n; i++ {
+			e.f64Block(snap.Entry(i).PDF.Observations)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ent := snap.Entry(i)
+		e.i64(int64(ent.ID))
+		s := corpus.Series{Label: ent.PDF.Label}
+		if ent.OwnErrors {
+			s.Errors = ent.PDF.Errors
+		}
+		if ent.Samples != nil {
+			s.Samples = ent.Samples.Samples
+		}
+		if err := e.seriesTail(s); err != nil {
+			return nil, err
+		}
+	}
+	return e.b, nil
+}
+
+// encodeCheckpointV1 renders the legacy interleaved body. The writer no
+// longer emits it; it exists so the tests can fabricate pre-arena
+// checkpoint files and prove the V1 reader keeps working.
+func encodeCheckpointV1(snap *corpus.Snapshot) ([]byte, error) {
 	var e enc
 	e.u64(snap.Epoch())
 	e.i64(int64(snap.NextID()))
@@ -94,7 +153,44 @@ func encodeCheckpoint(snap *corpus.Snapshot) ([]byte, error) {
 	return e.b, nil
 }
 
+// decodeCheckpoint parses a V2 (columnar) checkpoint body: the values
+// block is decoded once and each restored series receives a subslice view
+// into it, so the only per-series allocations are for optional error and
+// sample models.
 func decodeCheckpoint(body []byte) (checkpointState, error) {
+	d := &dec{b: body}
+	var st checkpointState
+	st.epoch = d.u64()
+	st.nextID = int(d.i64())
+	st.cfg = d.config()
+	if n, ok := d.sliceLen(8); ok {
+		block := d.f64Block()
+		length := st.cfg.Length
+		if d.err == nil && len(block) != n*length {
+			return checkpointState{}, fmt.Errorf("store: decode: values block holds %d floats, want %d series x length %d", len(block), n, length)
+		}
+		st.series = make([]corpus.RestoredSeries, 0, n)
+		for i := 0; i < n; i++ {
+			id := int(d.i64())
+			s := d.seriesTail()
+			if d.err != nil {
+				break
+			}
+			s.Values = block[i*length : (i+1)*length]
+			st.series = append(st.series, corpus.RestoredSeries{ID: id, Series: s})
+		}
+	}
+	if d.err != nil {
+		return checkpointState{}, d.err
+	}
+	if !d.done() {
+		return checkpointState{}, fmt.Errorf("store: decode: %d trailing bytes after the checkpoint", len(d.b)-d.off)
+	}
+	return st, nil
+}
+
+// decodeCheckpointV1 parses the legacy interleaved body.
+func decodeCheckpointV1(body []byte) (checkpointState, error) {
 	d := &dec{b: body}
 	var st checkpointState
 	st.epoch = d.u64()
@@ -167,13 +263,20 @@ func readCheckpoint(path string) (checkpointState, error) {
 	if err != nil {
 		return checkpointState{}, err
 	}
-	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+	if len(data) < len(ckptMagic)+4 {
+		return checkpointState{}, fmt.Errorf("store: %s is not a checkpoint file", filepath.Base(path))
+	}
+	magic := string(data[:len(ckptMagic)])
+	if magic != ckptMagic && magic != ckptMagicV1 {
 		return checkpointState{}, fmt.Errorf("store: %s is not a checkpoint file", filepath.Base(path))
 	}
 	sum := binary.LittleEndian.Uint32(data[len(ckptMagic) : len(ckptMagic)+4])
 	body := data[len(ckptMagic)+4:]
 	if crc32.Checksum(body, crcTable) != sum {
 		return checkpointState{}, fmt.Errorf("store: checkpoint %s fails its checksum", filepath.Base(path))
+	}
+	if magic == ckptMagicV1 {
+		return decodeCheckpointV1(body)
 	}
 	return decodeCheckpoint(body)
 }

@@ -66,6 +66,17 @@ func (e *enc) floats(v []float64) {
 	}
 }
 
+// f64Block appends raw float64s with no length prefix — the caller has
+// already written the total. One grow, then straight stores: the bulk form
+// for writing a whole arena in a single pass.
+func (e *enc) f64Block(v []float64) {
+	off := len(e.b)
+	e.b = append(e.b, make([]byte, 8*len(v))...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(e.b[off+8*i:], math.Float64bits(x))
+	}
+}
+
 func (e *enc) dist(d stats.Dist) error {
 	switch v := d.(type) {
 	case stats.Normal:
@@ -110,6 +121,26 @@ func (e *enc) dists(ds []stats.Dist) error {
 // walks the same defaulting paths the original insert did.
 func (e *enc) series(s corpus.Series) error {
 	e.floats(s.Values)
+	e.i64(int64(s.Label))
+	e.bool(s.Errors != nil)
+	if s.Errors != nil {
+		if err := e.dists(s.Errors); err != nil {
+			return err
+		}
+	}
+	e.bool(s.Samples != nil)
+	if s.Samples != nil {
+		e.u32(uint32(len(s.Samples)))
+		for _, row := range s.Samples {
+			e.floats(row)
+		}
+	}
+	return nil
+}
+
+// seriesTail encodes a series record minus its values — the V2 checkpoint
+// form, where every values vector lives in the shared flat block instead.
+func (e *enc) seriesTail(s corpus.Series) error {
 	e.i64(int64(s.Label))
 	e.bool(s.Errors != nil)
 	if s.Errors != nil {
@@ -323,6 +354,47 @@ func (d *dec) dists() []stats.Dist {
 func (d *dec) series() corpus.Series {
 	var s corpus.Series
 	s.Values = d.floats()
+	s.Label = int(d.i64())
+	if d.bool() {
+		s.Errors = d.dists()
+	}
+	if d.bool() {
+		n, ok := d.sliceLen(4)
+		if !ok {
+			return s
+		}
+		s.Samples = make([][]float64, n)
+		for i := range s.Samples {
+			s.Samples[i] = d.floats()
+		}
+	}
+	return s
+}
+
+// f64Block reads a u64 count followed by that many raw float64s — the
+// decode counterpart of enc.f64Block plus its preceding total, converted in
+// one pass into a single allocation.
+func (d *dec) f64Block() []float64 {
+	n := int(d.u64())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || 8*n > len(d.b)-d.off {
+		d.fail("values block length %d exceeds the remaining payload", n)
+		return nil
+	}
+	b := d.take(8 * n)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// seriesTail decodes a V2 series record; Values is left nil for the caller
+// to attach from the shared block.
+func (d *dec) seriesTail() corpus.Series {
+	var s corpus.Series
 	s.Label = int(d.i64())
 	if d.bool() {
 		s.Errors = d.dists()

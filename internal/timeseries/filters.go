@@ -14,13 +14,21 @@ import (
 // the number of points actually inside, which keeps the filter unbiased at
 // the edges. With w = 0 the input is returned unchanged (copied).
 func MovingAverage(values []float64, w int) []float64 {
+	out := make([]float64, len(values))
+	MovingAverageInto(out, values, w)
+	return out
+}
+
+// MovingAverageInto computes MovingAverage into dst (len(dst) must equal
+// len(values)) — the allocation-free form arena-backed callers use.
+func MovingAverageInto(dst, values []float64, w int) {
 	if w < 0 {
 		w = 0
 	}
-	out := make([]float64, len(values))
+	out := dst
 	if w == 0 {
 		copy(out, values)
-		return out
+		return
 	}
 	// Prefix sums give O(n) evaluation independent of w.
 	prefix := make([]float64, len(values)+1)
@@ -38,7 +46,6 @@ func MovingAverage(values []float64, w int) []float64 {
 		}
 		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
 	}
-	return out
 }
 
 // ExponentialMovingAverage returns the exponentially weighted moving average
@@ -48,13 +55,21 @@ func MovingAverage(values []float64, w int) []float64 {
 //
 // lambda controls the decay; lambda = 0 reduces to the plain moving average.
 func ExponentialMovingAverage(values []float64, w int, lambda float64) []float64 {
+	out := make([]float64, len(values))
+	ExponentialMovingAverageInto(out, values, w, lambda)
+	return out
+}
+
+// ExponentialMovingAverageInto computes ExponentialMovingAverage into dst
+// (len(dst) must equal len(values)).
+func ExponentialMovingAverageInto(dst, values []float64, w int, lambda float64) {
 	if w < 0 {
 		w = 0
 	}
-	out := make([]float64, len(values))
+	out := dst
 	if w == 0 {
 		copy(out, values)
-		return out
+		return
 	}
 	weights := decayWeights(w, lambda)
 	for i := range values {
@@ -70,7 +85,6 @@ func ExponentialMovingAverage(values []float64, w int, lambda float64) []float64
 		}
 		out[i] = num / den
 	}
-	return out
 }
 
 // decayWeights precomputes exp(-lambda*d) for d = 0..w.
@@ -120,16 +134,26 @@ func (m WeightMode) String() string {
 //
 // sigmas must have the same length as values and contain positive entries.
 func UncertainMovingAverage(values, sigmas []float64, w int, mode WeightMode) ([]float64, error) {
+	out := make([]float64, len(values))
+	if err := UncertainMovingAverageInto(out, values, sigmas, w, mode); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UncertainMovingAverageInto computes the UMA filter into dst (len(dst)
+// must equal len(values)).
+func UncertainMovingAverageInto(dst, values, sigmas []float64, w int, mode WeightMode) error {
 	if len(values) != len(sigmas) {
-		return nil, fmt.Errorf("timeseries: UncertainMovingAverage: %w (%d values, %d sigmas)", ErrLengthMismatch, len(values), len(sigmas))
+		return fmt.Errorf("timeseries: UncertainMovingAverage: %w (%d values, %d sigmas)", ErrLengthMismatch, len(values), len(sigmas))
 	}
 	if err := checkSigmas(sigmas); err != nil {
-		return nil, err
+		return err
 	}
 	if w < 0 {
 		w = 0
 	}
-	out := make([]float64, len(values))
+	out := dst
 	for i := range values {
 		var num, den float64
 		count := 0
@@ -149,24 +173,34 @@ func UncertainMovingAverage(values, sigmas []float64, w int, mode WeightMode) ([
 			out[i] = num / den
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // UncertainExponentialMovingAverage computes the paper's UEMA filter
 // (Eq. 18): exponential decay around the current point combined with the
 // 1/sigma uncertainty weights.
 func UncertainExponentialMovingAverage(values, sigmas []float64, w int, lambda float64, mode WeightMode) ([]float64, error) {
+	out := make([]float64, len(values))
+	if err := UncertainExponentialMovingAverageInto(out, values, sigmas, w, lambda, mode); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UncertainExponentialMovingAverageInto computes the UEMA filter into dst
+// (len(dst) must equal len(values)).
+func UncertainExponentialMovingAverageInto(dst, values, sigmas []float64, w int, lambda float64, mode WeightMode) error {
 	if len(values) != len(sigmas) {
-		return nil, fmt.Errorf("timeseries: UncertainExponentialMovingAverage: %w (%d values, %d sigmas)", ErrLengthMismatch, len(values), len(sigmas))
+		return fmt.Errorf("timeseries: UncertainExponentialMovingAverage: %w (%d values, %d sigmas)", ErrLengthMismatch, len(values), len(sigmas))
 	}
 	if err := checkSigmas(sigmas); err != nil {
-		return nil, err
+		return err
 	}
 	if w < 0 {
 		w = 0
 	}
 	weights := decayWeights(w, lambda)
-	out := make([]float64, len(values))
+	out := dst
 	for i := range values {
 		var num, denStrict, denNorm float64
 		for j := -w; j <= w; j++ {
@@ -186,7 +220,7 @@ func UncertainExponentialMovingAverage(values, sigmas []float64, w int, lambda f
 			out[i] = num / denNorm
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func checkSigmas(sigmas []float64) error {
