@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// jsonKeys marshals v and returns the sorted key set of the resulting
+// object, so a struct's wire shape can be pinned independently of its
+// Go field names.
+func jsonKeys(t *testing.T, v any) []string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestReportWireShapes pins the exact JSON key set of every -json report
+// type. A renamed or dropped json tag fails here immediately, instead of
+// silently producing BENCH_*.json files that no longer line up with the
+// checked-in baselines.
+func TestReportWireShapes(t *testing.T) {
+	want := map[string]struct {
+		value any
+		keys  []string
+	}{
+		"BenchResult": {BenchResult{}, []string{
+			"abandoned_early", "candidates", "completed", "direct_ns_per_op",
+			"length", "measure", "ns_per_op", "pruned_by_envelope",
+			"pruned_fraction", "queries", "resolved_by_bounds",
+			"resolved_early", "run_ns_per_op", "series",
+		}},
+		"StoreBenchResult": {StoreBenchResult{}, []string{
+			"checkpoint_load_ns_per_series", "ingest_ns_per_series", "length",
+			"replay_ns_per_series", "samples", "series", "wal_bytes_per_series",
+		}},
+		"BenchReport": {BenchReport{}, []string{"measures", "store"}},
+		"ScanMeasureResult": {ScanMeasureResult{}, []string{
+			"abandoned_early", "candidates", "completed", "kind", "matches",
+			"measure", "ns_per_op", "pruned_by_envelope", "pruned_fraction",
+			"resolved_by_bounds", "resolved_early",
+		}},
+		"ScanLayoutResult": {ScanLayoutResult{}, []string{
+			"arena_ns_per_scan", "kernel", "scattered_ns_per_scan",
+			"scattered_over_arena",
+		}},
+		"ScanBenchReport": {ScanBenchReport{}, []string{
+			"build_ns", "calibrate_ns", "eps", "layout", "length", "measures",
+			"queries", "samples", "seed", "series", "tau", "workers",
+		}},
+	}
+	for name, tc := range want {
+		if got := jsonKeys(t, tc.value); !reflect.DeepEqual(got, tc.keys) {
+			t.Errorf("%s wire shape drifted:\n got %v\nwant %v", name, got, tc.keys)
+		}
+	}
+}
+
+// strictDecode decodes data into v rejecting unknown fields, and requires
+// the document to contain exactly one JSON value.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after document")
+	}
+	return nil
+}
+
+// TestBaselineArtifactsMatchShape strict-decodes every checked-in
+// BENCH_PR*.json at the repository root against the report types above.
+// Exactly one document shape must accept each file (older baselines are
+// bare []BenchResult arrays from before the store record existed; fields
+// added since are simply absent there). If a report struct is reshaped
+// without migrating or versioning the baselines, this fails.
+func TestBaselineArtifactsMatchShape(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_PR*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_PR*.json baselines found at the repository root")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(f)
+		var matched []string
+
+		var legacy []BenchResult
+		if strictDecode(data, &legacy) == nil {
+			matched = append(matched, "[]BenchResult")
+			if len(legacy) == 0 {
+				t.Errorf("%s: empty measure list", name)
+			}
+			for _, r := range legacy {
+				if r.Measure == "" || r.NsPerOp <= 0 {
+					t.Errorf("%s: implausible measure record %+v", name, r)
+				}
+			}
+		}
+		var engine BenchReport
+		if strictDecode(data, &engine) == nil {
+			matched = append(matched, "BenchReport")
+			if len(engine.Measures) == 0 || engine.Store.IngestNsPerSeries <= 0 {
+				t.Errorf("%s: implausible engine report", name)
+			}
+		}
+		var scan ScanBenchReport
+		if strictDecode(data, &scan) == nil {
+			matched = append(matched, "ScanBenchReport")
+			if len(scan.Measures) == 0 || len(scan.Layout) == 0 {
+				t.Errorf("%s: implausible scan report", name)
+			}
+		}
+
+		if len(matched) != 1 {
+			t.Errorf("%s: matched document shapes %v, want exactly one", name, matched)
+		}
+	}
+}

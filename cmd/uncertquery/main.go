@@ -149,6 +149,7 @@ func validate(cfg config) error {
 	// tau = 0 means "calibrate"; anything else must be a usable threshold
 	// (proud accepts (0, 1), munich (0, 1]).
 	if cfg.tau != 0 {
+		//lint:allow floatcmp munich's tau domain is closed at exactly 1; -tau is parsed, not computed
 		ok := cfg.tau > 0 && (cfg.tau < 1 || (technique == "munich" && cfg.tau == 1))
 		if !ok {
 			return fmt.Errorf("-tau = %v outside the valid range (0 = calibrate; proud needs (0, 1), munich (0, 1])", cfg.tau)

@@ -213,6 +213,7 @@ func (m *FilteredMatcher) Prepare(w *Workload) error {
 	if reuse {
 		cfg := snap.Config()
 		reuse = m.W == cfg.W && m.Mode == cfg.Mode &&
+			//lint:allow floatcmp artifact reuse requires the bit-identical filter config; a near-miss must recompute
 			(m.Kind == FilterUMA || m.Lambda == cfg.Lambda)
 	}
 	var ar *arena.Builder
@@ -270,6 +271,7 @@ func equalFloats(a, b []float64) bool {
 		return false
 	}
 	for i, v := range a {
+		//lint:allow floatcmp exact bit-equality is the aliasing contract: reuse is only sound when recomputing changes nothing
 		if v != b[i] {
 			return false
 		}

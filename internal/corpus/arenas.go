@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"uncertts/internal/arena"
+	"uncertts/internal/distance"
 )
 
 // arenas bundles the columnar builders holding every float64 artifact of
@@ -24,6 +25,11 @@ type arenas struct {
 	suffix *arena.Builder // PROUD suffix energies, stride n+1
 	envLo  *arena.Builder // MUNICH envelope minima, stride cfg.Segments
 	envHi  *arena.Builder // MUNICH envelope maxima, stride cfg.Segments
+
+	// envScratch is the deque storage LB_Keogh envelope builds reuse
+	// across inserts; buildEntry runs under the corpus writer lock, so
+	// one scratch per arena set suffices.
+	envScratch distance.EnvelopeScratch
 }
 
 // newArenas allocates the builder set for a resolved geometry (cfg.Length

@@ -581,7 +581,7 @@ func buildEntry(id int, s Series, cfg Config, ar *arenas) (*Entry, error) {
 	}
 	e.Sigmas = sigmas
 	e.Upper, e.Lower = ar.upper.AppendZero(), ar.lower.AppendZero()
-	distance.EnvelopeInto(e.Upper, e.Lower, obs, cfg.Band)
+	distance.EnvelopeIntoScratch(e.Upper, e.Lower, obs, cfg.Band, &ar.envScratch)
 	e.Suffix = ar.suffix.AppendZero()
 	proud.SuffixEnergyInto(e.Suffix, obs)
 

@@ -56,9 +56,11 @@ func Lp(x, y []float64, p float64) (float64, error) {
 		}
 		return max, nil
 	}
+	//lint:allow floatcmp Minkowski-order dispatch: p is a caller-chosen exact constant, not a computed value
 	if p == 2 {
 		return Euclidean(x, y)
 	}
+	//lint:allow floatcmp Minkowski-order dispatch: p is a caller-chosen exact constant, not a computed value
 	if p == 1 {
 		var acc float64
 		for i := range x {

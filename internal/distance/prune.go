@@ -50,9 +50,25 @@ func Envelope(y []float64, r int) (upper, lower []float64) {
 }
 
 // EnvelopeInto computes Envelope into caller-provided upper and lower
-// slices (both must have len(y)) — the allocation-free form arena-backed
-// corpora use to build envelopes in place.
+// slices (both must have len(y)). It allocates transient deque storage;
+// per-series loops (corpus ingest, batch envelope builds) should hold an
+// EnvelopeScratch and call EnvelopeIntoScratch instead.
 func EnvelopeInto(upper, lower, y []float64, r int) {
+	EnvelopeIntoScratch(upper, lower, y, r, &EnvelopeScratch{})
+}
+
+// EnvelopeScratch carries the monotonic-deque storage EnvelopeIntoScratch
+// reuses across calls. The zero value is ready to use; the first call
+// sizes it to the series length. Not safe for concurrent use.
+type EnvelopeScratch struct {
+	maxDQ, minDQ []int
+}
+
+// EnvelopeIntoScratch is EnvelopeInto with caller-owned scratch — the
+// allocation-free form (after the scratch warms up to the series length)
+// that arena-backed corpora use to build envelopes in place on the ingest
+// path.
+func EnvelopeIntoScratch(upper, lower, y []float64, r int, s *EnvelopeScratch) {
 	n := len(y)
 	if n == 0 {
 		return
@@ -60,16 +76,23 @@ func EnvelopeInto(upper, lower, y []float64, r int) {
 	if r < 0 || r >= n {
 		r = n - 1
 	}
+	if cap(s.maxDQ) < n {
+		s.maxDQ = make([]int, n)
+		s.minDQ = make([]int, n)
+	}
 	// Monotonic index deques: maxDQ keeps decreasing values, minDQ keeps
-	// increasing values, over the sliding window [i-r, i+r].
-	maxDQ := make([]int, 0, n)
-	minDQ := make([]int, 0, n)
+	// increasing values, over the sliding window [i-r, i+r]. Each index
+	// enters a deque at most once, so tail lengths are bounded by n; the
+	// head advances instead of re-slicing so the storage keeps its front
+	// capacity across calls.
+	maxDQ, minDQ := s.maxDQ[:0], s.minDQ[:0]
+	maxHead, minHead := 0, 0
 	push := func(j int) {
-		for len(maxDQ) > 0 && y[maxDQ[len(maxDQ)-1]] <= y[j] {
+		for len(maxDQ) > maxHead && y[maxDQ[len(maxDQ)-1]] <= y[j] {
 			maxDQ = maxDQ[:len(maxDQ)-1]
 		}
 		maxDQ = append(maxDQ, j)
-		for len(minDQ) > 0 && y[minDQ[len(minDQ)-1]] >= y[j] {
+		for len(minDQ) > minHead && y[minDQ[len(minDQ)-1]] >= y[j] {
 			minDQ = minDQ[:len(minDQ)-1]
 		}
 		minDQ = append(minDQ, j)
@@ -83,15 +106,15 @@ func EnvelopeInto(upper, lower, y []float64, r int) {
 			push(in)
 		}
 		if out := i - r - 1; out >= 0 {
-			if maxDQ[0] == out {
-				maxDQ = maxDQ[1:]
+			if maxDQ[maxHead] == out {
+				maxHead++
 			}
-			if minDQ[0] == out {
-				minDQ = minDQ[1:]
+			if minDQ[minHead] == out {
+				minHead++
 			}
 		}
-		upper[i] = y[maxDQ[0]]
-		lower[i] = y[minDQ[0]]
+		upper[i] = y[maxDQ[maxHead]]
+		lower[i] = y[minDQ[minHead]]
 	}
 }
 

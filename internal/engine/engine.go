@@ -318,6 +318,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 		e.vecs = observations(snap)
 	case MeasureUMA, MeasureUEMA:
 		reuse := opts.W == cfg.W && opts.Mode == cfg.Mode &&
+			//lint:allow floatcmp artifact reuse requires the bit-identical filter config; a near-miss must recompute
 			(opts.Measure == MeasureUMA || opts.Lambda == cfg.Lambda)
 		if reuse && dense {
 			if opts.Measure == MeasureUMA {

@@ -1,0 +1,58 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, reimplemented on the standard library so
+// the repository's own analyzers build offline with zero module
+// dependencies. An Analyzer written against this package uses the same
+// Name/Doc/Run shape as an x/tools analyzer, so migrating to the upstream
+// framework later is a change of import path, not of analyzer code.
+//
+// Only the pieces the uncertlint suite needs exist: single-pass syntactic
+// and type-based inspection of one package at a time. There is no fact
+// propagation across packages, no analyzer-to-analyzer Requires graph, and
+// no suggested fixes; the uncertlint analyzers need none of these.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, then prose.
+	Doc string
+	// Run applies the analyzer to a package. It reports diagnostics via
+	// pass.Report/Reportf. The result value is unused by this driver and
+	// exists for x/tools signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one analyzer's view of one package: the syntax trees, the
+// type information, and the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs it; analyzer
+	// code should call Reportf or Report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,12 @@
+package arenawrite_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/arenawrite"
+)
+
+func TestArenaWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), arenawrite.Analyzer, "a")
+}

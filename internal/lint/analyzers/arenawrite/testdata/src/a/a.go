@@ -1,0 +1,63 @@
+// Package a seeds writes through arena and corpus snapshot views for the
+// arenawrite analyzer's analysistest run.
+package a
+
+import (
+	"uncertts/internal/arena"
+	"uncertts/internal/corpus"
+)
+
+func direct(m arena.Matrix) {
+	m.Row(0)[1] = 5             // want `write through arena\.Matrix\.Row\(\)`
+	copy(m.Data(), []float64{}) // want `copy into arena\.Matrix\.Data\(\)`
+}
+
+func throughLocals(m arena.Matrix, src []float64) {
+	row := m.Row(0)
+	row[0] = 1  // want `write through a local alias of a snapshot view`
+	row[2] += 3 // want `write through a local alias of a snapshot view`
+
+	sub := m.Row(1)[1:]
+	sub[0]++ // want `\+\+ through a local alias of a snapshot view`
+
+	d := m.Data()
+	copy(d, src) // want `copy into a local alias of a snapshot view`
+
+	alias := d
+	alias[9] = 0 // want `write through a local alias of a snapshot view`
+}
+
+func entryViews(e *corpus.Entry, src []float64) {
+	e.UMA[0] = 1              // want `write through corpus entry view \.UMA`
+	copy(e.Suffix, src)       // want `copy into corpus entry view \.Suffix`
+	e.PDF.Observations[0] = 2 // want `write through corpus entry view \.Observations`
+	e.Env.Lo[0] = 3           // want `write through corpus entry view \.Lo`
+	sig := e.Sigmas
+	sig[1] = 0.5 // want `write through a local alias of a snapshot view`
+}
+
+func snapshotColumns(s *corpus.Snapshot) {
+	cols, ok := s.Columns()
+	if !ok {
+		return
+	}
+	cols.UMA.Row(3)[0] = 1 // want `write through arena\.Matrix\.Row\(\)`
+}
+
+func legal(b *arena.Builder, m arena.Matrix, e *corpus.Entry) float64 {
+	// Builder rows are writer-owned until published.
+	row := b.AppendZero()
+	row[0] = 1
+	// Reading views is the whole point.
+	v := m.Row(0)[1] + e.UMA[2]
+	// Plain local slices are nobody's views.
+	local := make([]float64, 4)
+	local[3] = v
+	copy(local, e.Suffix)
+	return local[3]
+}
+
+func suppressed(m arena.Matrix) {
+	//lint:allow arenawrite proving the suppression path for the test harness
+	m.Row(0)[0] = 42
+}

@@ -1,0 +1,16 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/ctxpoll"
+)
+
+func TestDefinitions(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpoll.Analyzer, "distance")
+}
+
+func TestCallSites(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpoll.Analyzer, "b")
+}

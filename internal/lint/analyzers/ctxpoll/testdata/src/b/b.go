@@ -1,0 +1,42 @@
+// Package b seeds call-site violations for ctxpoll: callers that pick a
+// kernel's non-cancellable spelling when a Cancel/Ctx variant exists.
+package b
+
+import (
+	"context"
+
+	"uncertts/internal/core"
+	"uncertts/internal/distance"
+	"uncertts/internal/munich"
+	"uncertts/internal/uncertain"
+)
+
+func scan(ctx context.Context, q, c []float64, xs, ys uncertain.SampleSeries) error {
+	if _, _, err := distance.DTWBandEarlyAbandon(q, c, 4, 1e9); err != nil { // want `call to distance\.DTWBandEarlyAbandon cannot be cancelled; use DTWBandEarlyAbandonCancel`
+		return err
+	}
+	if _, _, err := munich.ProbabilityCutoff(xs, ys, 0.5, 0.1, munich.Options{}); err != nil { // want `call to munich\.ProbabilityCutoff cannot be cancelled; use ProbabilityCutoffCancel`
+		return err
+	}
+	if err := core.RunSharded(100, 1, 4, func(lo, hi int) error { return nil }); err != nil { // want `call to core\.RunSharded cannot be cancelled; use RunShardedCtx`
+		return err
+	}
+
+	// The cancellable spellings are the sanctioned ones.
+	if _, _, err := distance.DTWBandEarlyAbandonCancel(q, c, 4, 1e9, ctx.Done()); err != nil {
+		return err
+	}
+	if err := core.RunShardedCtx(ctx, 100, 1, 4, func(lo, hi int) error { return nil }); err != nil {
+		return err
+	}
+	// Kernels with no cancellable sibling carry no obligation.
+	if _, err := distance.Euclidean(q, c); err != nil {
+		return err
+	}
+	return nil
+}
+
+func suppressed(q, c []float64) (float64, bool, error) {
+	//lint:allow ctxpoll init-time call with no request context in scope
+	return distance.DTWBandEarlyAbandon(q, c, 4, 1e9)
+}

@@ -1,0 +1,91 @@
+// Package distance stands in for a kernel package (ctxpoll matches
+// kernel packages by import path base) to seed definition-side
+// violations: exported kernels that accept a cancellation handle but
+// whose loops can never observe it.
+package distance
+
+import "context"
+
+// ScanCtx accepts a context and loops without ever polling it.
+func ScanCtx(ctx context.Context, xs []float64) float64 { // want `ScanCtx accepts a cancellation handle but no loop ever polls or forwards it`
+	var acc float64
+	for _, x := range xs {
+		acc += x * x
+	}
+	return acc
+}
+
+// ScanDone accepts a done channel and ignores it just as thoroughly.
+func ScanDone(xs []float64, done <-chan struct{}) float64 { // want `ScanDone accepts a cancellation handle but no loop ever polls or forwards it`
+	var acc float64
+	for i := 0; i < len(xs); i++ {
+		acc += xs[i]
+	}
+	return acc
+}
+
+// PolledCtx polls ctx.Err at every step: compliant.
+func PolledCtx(ctx context.Context, xs []float64) (float64, error) {
+	var acc float64
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		acc += x
+	}
+	return acc, nil
+}
+
+// PolledHoisted hoists done := ctx.Done() above the loop — the kernel
+// idiom; the derived local counts as the handle.
+func PolledHoisted(ctx context.Context, xs []float64) (float64, error) {
+	done := ctx.Done()
+	var acc float64
+	for _, x := range xs {
+		select {
+		case <-done:
+			return 0, ctx.Err()
+		default:
+		}
+		acc += x
+	}
+	return acc, nil
+}
+
+// Forwarded delegates cancellation to a callee inside the loop.
+func Forwarded(ctx context.Context, xs [][]float64) (float64, error) {
+	var acc float64
+	for _, row := range xs {
+		v, err := PolledCtx(ctx, row)
+		if err != nil {
+			return 0, err
+		}
+		acc += v
+	}
+	return acc, nil
+}
+
+// NoLoops accepts a context but has nothing long-running to poll from.
+func NoLoops(ctx context.Context, a, b float64) float64 {
+	return a + b
+}
+
+// unexported kernels are wrappers' business, not the contract surface.
+func scanQuietly(ctx context.Context, xs []float64) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// Suppressed loops without polling, with a recorded justification.
+//
+//lint:allow ctxpoll bounded eight-iteration loop, cancellation latency is nanoseconds
+func Suppressed(ctx context.Context, xs *[8]float64) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}

@@ -1,0 +1,147 @@
+// Package floatcmp flags exact ==/!= comparisons between floating-point
+// values. Almost every float in this codebase is the product of
+// accumulation (filters, envelopes, probability estimates), where exact
+// equality silently depends on evaluation order; the sanctioned guarded
+// comparisons are allowlisted and everything else must either switch to a
+// tolerance/ULP comparison or carry an explicit //lint:allow with the
+// argument for why exact equality is sound.
+//
+// Allowlisted without annotation:
+//   - comparisons in _test.go files
+//   - exact-zero tests (x == 0): zero is a sanctioned sentinel for "unset"
+//     config fields and degenerate denominators
+//   - the NaN idiom x != x (both operands textually identical)
+//   - comparisons against math.Inf(...), which is exact by construction
+//   - the sort tie-break guard `if x != y { return x < y }` (any ordering
+//     operator, same operands): equal bits mean a tie by definition, and
+//     both orderings of unequal values are handled explicitly
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"uncertts/internal/lint/analysis"
+)
+
+// Analyzer flags raw floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags == / != between floats outside guarded comparisons (exact zero, NaN idiom, math.Inf, tests)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		tieBreaks := tieBreakGuards(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if tieBreaks[cmp] {
+				return true
+			}
+			if !isFloat(pass, cmp.X) && !isFloat(pass, cmp.Y) {
+				return true
+			}
+			if isExactZero(pass, cmp.X) || isExactZero(pass, cmp.Y) {
+				return true
+			}
+			if isMathInf(pass, cmp.X) || isMathInf(pass, cmp.Y) {
+				return true
+			}
+			if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+				return true // NaN self-test idiom
+			}
+			if isConst(pass, cmp.X) && isConst(pass, cmp.Y) {
+				return true // compile-time comparison
+			}
+			pass.Reportf(cmp.OpPos, "floating-point %s is exact; use a tolerance/ULP comparison or annotate why exact equality is sound", cmp.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// tieBreakGuards collects the != conditions of sort tie-break guards:
+// `if x != y { return x < y }` (or >, <=, >=) over the same two operands.
+func tieBreakGuards(f *ast.File) map[*ast.BinaryExpr]bool {
+	out := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		ord, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch ord.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		cx, cy := types.ExprString(cond.X), types.ExprString(cond.Y)
+		ox, oy := types.ExprString(ord.X), types.ExprString(ord.Y)
+		if (cx == ox && cy == oy) || (cx == oy && cy == ox) {
+			out[cond] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isExactZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}
+
+func isMathInf(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcmp.Analyzer, "a")
+}

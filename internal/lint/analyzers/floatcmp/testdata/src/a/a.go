@@ -1,0 +1,56 @@
+// Package a seeds raw float comparisons for the floatcmp analyzer's
+// analysistest run.
+package a
+
+import "math"
+
+func raw(a, b float64) bool {
+	if a == b { // want `floating-point == is exact`
+		return true
+	}
+	return a != b // want `floating-point != is exact`
+}
+
+func raw32(a, b float32) bool {
+	return a == b // want `floating-point == is exact`
+}
+
+func mixedConst(a float64) bool {
+	return a == 0.25 // want `floating-point == is exact`
+}
+
+func allowlisted(a, b float64, n int) bool {
+	if a == 0 { // exact-zero test
+		return false
+	}
+	if 0.0 != b { // exact-zero test, reversed
+		return false
+	}
+	if a != a { // NaN idiom
+		return true
+	}
+	if a == math.Inf(1) { // exact by construction
+		return true
+	}
+	if n == 3 { // integers compare exactly
+		return true
+	}
+	return 1.5 == 1.5 // constant folding, no runtime comparison
+}
+
+type item struct {
+	dist float64
+	id   int
+}
+
+func less(a, b item) bool {
+	if a.dist != b.dist { // sort tie-break guard
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+func suppressed(a, b float64) bool {
+	//lint:allow floatcmp proving the suppression path for the test harness
+	return a == b
+}

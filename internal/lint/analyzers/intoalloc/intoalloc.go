@@ -1,0 +1,81 @@
+// Package intoalloc enforces the contract of the ...Into kernel family:
+// an Into-suffixed function whose documentation advertises itself as
+// allocation-free must not allocate. These kernels exist so arena-backed
+// corpora can (re)build per-series artifacts in place on the hot ingest
+// path; a make/append hidden inside one reintroduces exactly the per-call
+// garbage the arena refactor removed, without failing any correctness
+// test.
+package intoalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"uncertts/internal/lint/analysis"
+)
+
+// Analyzer flags allocations inside Into-kernels documented
+// allocation-free.
+var Analyzer = &analysis.Analyzer{
+	Name: "intoalloc",
+	Doc:  "flags append/make/new/slice-or-map literals inside ...Into kernels documented allocation-free",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasSuffix(fd.Name.Name, "Into") {
+				continue
+			}
+			if !claimsAllocationFree(fd.Doc) {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if b := builtinName(pass, n.Fun); b == "make" || b == "new" || b == "append" {
+						pass.Reportf(n.Pos(), "%s inside %s, which is documented allocation-free", b, name)
+					}
+				case *ast.CompositeLit:
+					tv, ok := pass.TypesInfo.Types[n]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						pass.Reportf(n.Pos(), "composite literal allocates inside %s, which is documented allocation-free", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// claimsAllocationFree reports whether the doc comment advertises the
+// kernel as allocation-free.
+func claimsAllocationFree(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	return strings.Contains(text, "allocation-free") || strings.Contains(text, "allocation free")
+}
+
+// builtinName returns the name of the builtin a call expression invokes,
+// or "".
+func builtinName(pass *analysis.Pass, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

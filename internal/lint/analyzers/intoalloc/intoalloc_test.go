@@ -1,0 +1,12 @@
+package intoalloc_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/intoalloc"
+)
+
+func TestIntoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), intoalloc.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Package a seeds allocations inside Into-kernels for the intoalloc
+// analyzer's analysistest run.
+package a
+
+// FillInto fills dst from src — the allocation-free form arena-backed
+// callers use.
+func FillInto(dst, src []float64) {
+	tmp := make([]float64, len(src)) // want `make inside FillInto, which is documented allocation-free`
+	tmp = append(tmp, 1)             // want `append inside FillInto, which is documented allocation-free`
+	extra := []float64{1, 2}         // want `composite literal allocates inside FillInto`
+	seen := map[int]bool{}           // want `composite literal allocates inside FillInto`
+	p := new(float64)                // want `new inside FillInto, which is documented allocation-free`
+	_, _, _, _ = tmp, extra, seen, p
+	copy(dst, src)
+}
+
+// ScaleInto scales src into dst. It says nothing about allocation, so it
+// may allocate freely.
+func ScaleInto(dst, src []float64) {
+	tmp := make([]float64, len(src))
+	copy(tmp, src)
+	for i, v := range tmp {
+		dst[i] = 2 * v
+	}
+}
+
+// SumInto accumulates src into dst — allocation free, and actually so.
+func SumInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Fill allocates but is not an Into kernel.
+func Fill(n int) []float64 {
+	return make([]float64, n)
+}
+
+// StampInto writes a marker — the allocation-free form with one justified
+// exception.
+func StampInto(dst []float64) {
+	//lint:allow intoalloc proving the suppression path for the test harness
+	tmp := make([]float64, 1)
+	dst[0] = tmp[0]
+}

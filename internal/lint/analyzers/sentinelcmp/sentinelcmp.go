@@ -1,0 +1,88 @@
+// Package sentinelcmp flags identity comparisons against the query
+// surface's sentinel errors. Every error the engine returns wraps a
+// qerr.Err* sentinel (or a context error) via fmt.Errorf("%w", ...), so
+// `err == qerr.ErrBadRequest` is almost always false at runtime — the
+// invariant is that sentinels are classified with errors.Is, never with
+// == or != or a value switch.
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"uncertts/internal/lint/analysis"
+)
+
+// Analyzer flags ==/!= and switch-case comparisons against qerr.Err*
+// sentinels and the context package's Canceled/DeadlineExceeded.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "flags == / != / switch-case against qerr sentinels and context errors; wrapped errors only match via errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if name := sentinelName(pass, op); name != "" {
+						pass.Reportf(n.OpPos, "%s compared with %s; use errors.Is — wrapped errors never compare equal", name, n.Op)
+						return true
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(pass, e); name != "" {
+							pass.Reportf(e.Pos(), "switch case compares %s by identity; use errors.Is in an if/else chain", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelName returns a printable name if e refers to a sentinel error
+// variable, else "".
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	switch v.Pkg().Path() {
+	case "uncertts/internal/qerr":
+		if len(v.Name()) > 3 && v.Name()[:3] == "Err" {
+			return "qerr." + v.Name()
+		}
+	case "context":
+		if v.Name() == "Canceled" || v.Name() == "DeadlineExceeded" {
+			return "context." + v.Name()
+		}
+	}
+	return ""
+}

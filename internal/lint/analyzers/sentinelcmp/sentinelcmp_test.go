@@ -1,0 +1,12 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/sentinelcmp"
+)
+
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sentinelcmp.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a seeds sentinel-comparison violations for the sentinelcmp
+// analyzer's analysistest run.
+package a
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"uncertts/internal/qerr"
+)
+
+func compare(err error) bool {
+	if err == qerr.ErrBadRequest { // want `qerr\.ErrBadRequest compared with ==; use errors\.Is`
+		return true
+	}
+	if err != qerr.ErrCancelled { // want `qerr\.ErrCancelled compared with !=; use errors\.Is`
+		return false
+	}
+	if qerr.ErrUnknownMeasure == err { // want `qerr\.ErrUnknownMeasure compared with ==`
+		return true
+	}
+	if err == context.Canceled { // want `context\.Canceled compared with ==`
+		return true
+	}
+	return err == context.DeadlineExceeded // want `context\.DeadlineExceeded compared with ==`
+}
+
+func valueSwitch(err error) int {
+	switch err {
+	case qerr.ErrLengthMismatch: // want `switch case compares qerr\.ErrLengthMismatch by identity`
+		return 1
+	case context.DeadlineExceeded: // want `switch case compares context\.DeadlineExceeded by identity`
+		return 2
+	case nil, io.EOF: // foreign sentinels are none of our business
+		return 3
+	}
+	return 0
+}
+
+func fine(err error) bool {
+	if errors.Is(err, qerr.ErrBadRequest) { // the sanctioned spelling
+		return true
+	}
+	if err == io.EOF { // io.EOF is returned unwrapped by convention
+		return true
+	}
+	return err == nil
+}
+
+func suppressed(err error) bool {
+	//lint:allow sentinelcmp proving the suppression path for the test harness
+	return err == qerr.ErrBadRequest
+}

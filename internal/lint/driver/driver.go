@@ -1,0 +1,149 @@
+// Package driver runs a suite of analyzers over loaded packages and
+// applies the repository's suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A directive suppresses diagnostics from the named analyzer on its own
+// line and on the line directly below it (so it works both as a trailing
+// comment and as a standalone comment above the offending line). The
+// reason is mandatory, the analyzer name must belong to the suite, and a
+// directive that suppresses nothing is itself a diagnostic — every
+// exception to an invariant stays explicit, justified, and greppable.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"uncertts/internal/lint/analysis"
+	"uncertts/internal/lint/load"
+)
+
+// Prefix is the directive marker, in the pragma style gofmt preserves.
+const Prefix = "//lint:allow"
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+	pos      token.Position
+	problem  string // non-empty: the directive itself is broken
+	used     bool
+}
+
+// collectDirectives scans a file's comments for //lint:allow directives.
+func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, Prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, Prefix)
+			pos := fset.Position(c.Pos())
+			d := &directive{file: pos.Filename, line: pos.Line, pos: pos}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.problem = "missing analyzer name and reason"
+			case !known[fields[0]]:
+				d.problem = fmt.Sprintf("unknown analyzer %q", fields[0])
+			case len(fields) == 1:
+				d.analyzer = fields[0]
+				d.problem = "missing reason: write " + Prefix + " " + fields[0] + " <why this exception is sound>"
+			default:
+				d.analyzer = fields[0]
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package, filters suppressed
+// diagnostics, and appends directive-hygiene diagnostics (malformed or
+// unused directives). The result is sorted by position.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var directives []*directive
+		for _, f := range pkg.Files {
+			directives = append(directives, collectDirectives(pkg.Fset, f, known)...)
+		}
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				raw = append(raw, Diagnostic{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	diags:
+		for _, d := range raw {
+			for _, dir := range directives {
+				if dir.problem == "" && dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename &&
+					(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
+					dir.used = true
+					continue diags
+				}
+			}
+			out = append(out, d)
+		}
+		for _, dir := range directives {
+			switch {
+			case dir.problem != "":
+				out = append(out, Diagnostic{Analyzer: "uncertlint", Pos: dir.pos,
+					Message: "malformed " + Prefix + " directive: " + dir.problem})
+			case !dir.used:
+				out = append(out, Diagnostic{Analyzer: "uncertlint", Pos: dir.pos,
+					Message: fmt.Sprintf("unused %s directive for %s: nothing on this or the next line triggers it", Prefix, dir.analyzer)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

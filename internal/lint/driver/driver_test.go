@@ -1,0 +1,50 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uncertts/internal/lint/analysis"
+	"uncertts/internal/lint/analyzers/floatcmp"
+	"uncertts/internal/lint/driver"
+	"uncertts/internal/lint/load"
+)
+
+// TestDirectiveHygiene proves the three failure modes of //lint:allow are
+// themselves diagnostics: an unused directive, a directive with no reason,
+// and a directive naming an unknown analyzer — while a well-formed, used
+// directive suppresses its finding silently.
+func TestDirectiveHygiene(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "hygiene"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader(dir)
+	pkg, err := loader.LoadDir(dir, "hygiene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run([]*load.Package{pkg}, []*analysis.Analyzer{floatcmp.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	wants := []string{
+		"unused //lint:allow directive for floatcmp",
+		"malformed //lint:allow directive: missing reason",
+		`malformed //lint:allow directive: unknown analyzer "nosuchanalyzer"`,
+		"malformed //lint:allow directive: missing analyzer name and reason",
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(wants), strings.Join(got, "\n"))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("diagnostic %d = %q, want contains %q", i, got[i], w)
+		}
+	}
+}

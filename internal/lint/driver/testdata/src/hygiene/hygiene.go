@@ -1,0 +1,18 @@
+// Package hygiene seeds broken and unused //lint:allow directives for the
+// driver's directive-hygiene test.
+package hygiene
+
+func directives(a, b float64) bool {
+	//lint:allow floatcmp exact equality is fine here because the test says so
+	if a == b {
+		return true
+	}
+	//lint:allow floatcmp this one suppresses nothing
+	x := a + b
+	//lint:allow floatcmp
+	y := x + 1
+	//lint:allow nosuchanalyzer some reason
+	z := y + 1
+	//lint:allow
+	return z > 0
+}

@@ -1,0 +1,25 @@
+// Package uncertlint assembles the repository's analyzer suite — the
+// machine-checked form of the invariants the engine's correctness rests
+// on. cmd/uncertlint runs it standalone or as a go vet -vettool; tests
+// run it straight from here.
+package uncertlint
+
+import (
+	"uncertts/internal/lint/analysis"
+	"uncertts/internal/lint/analyzers/arenawrite"
+	"uncertts/internal/lint/analyzers/ctxpoll"
+	"uncertts/internal/lint/analyzers/floatcmp"
+	"uncertts/internal/lint/analyzers/intoalloc"
+	"uncertts/internal/lint/analyzers/sentinelcmp"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		arenawrite.Analyzer,
+		ctxpoll.Analyzer,
+		floatcmp.Analyzer,
+		intoalloc.Analyzer,
+		sentinelcmp.Analyzer,
+	}
+}

@@ -28,11 +28,13 @@ func ErfInv(x float64) float64 {
 	}
 	switch {
 	case x <= -1:
+		//lint:allow floatcmp domain boundary: erfinv(-1) is exactly -Inf, anything below is NaN
 		if x == -1 {
 			return math.Inf(-1)
 		}
 		return math.NaN()
 	case x >= 1:
+		//lint:allow floatcmp domain boundary: erfinv(1) is exactly +Inf, anything above is NaN
 		if x == 1 {
 			return math.Inf(1)
 		}
@@ -169,6 +171,7 @@ func NormalQuantile(p float64) (float64, error) {
 		if p == 0 {
 			return math.Inf(-1), nil
 		}
+		//lint:allow floatcmp p = 1 exactly maps to the +Inf quantile; nearby p must go through the solver
 		if p == 1 {
 			return math.Inf(1), nil
 		}
@@ -210,6 +213,7 @@ func StudentTQuantile(p float64, nu float64) (float64, error) {
 	if p <= 0 || p >= 1 || nu <= 0 || math.IsNaN(p) {
 		return math.NaN(), ErrDomain
 	}
+	//lint:allow floatcmp the Student-t CDF is symmetric about the exact median; p = 0.5 is a caller-passed sentinel
 	if p == 0.5 {
 		return 0, nil
 	}

@@ -30,21 +30,29 @@ func MovingAverageInto(dst, values []float64, w int) {
 		copy(out, values)
 		return
 	}
-	// Prefix sums give O(n) evaluation independent of w.
-	prefix := make([]float64, len(values)+1)
-	for i, v := range values {
-		prefix[i+1] = prefix[i] + v
+	// A sliding running sum gives O(n) evaluation independent of w with
+	// no scratch array: the window over position i is [i-w, i+w] clipped
+	// to the series, so stepping i forward admits values[i+w] and evicts
+	// values[i-1-w].
+	var sum float64
+	hi := w
+	if hi >= len(values) {
+		hi = len(values) - 1
 	}
+	for k := 0; k <= hi; k++ {
+		sum += values[k]
+	}
+	lo := 0
 	for i := range values {
-		lo := i - w
-		if lo < 0 {
-			lo = 0
+		out[i] = sum / float64(hi-lo+1)
+		if next := i + 1 + w; next < len(values) {
+			sum += values[next]
+			hi = next
 		}
-		hi := i + w
-		if hi >= len(values) {
-			hi = len(values) - 1
+		if evict := i + 1 - w; evict > 0 {
+			sum -= values[evict-1]
+			lo = evict
 		}
-		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
 	}
 }
 
