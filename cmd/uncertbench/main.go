@@ -85,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workersN   = fs.Int("workers", 0, "scan bench: engine worker bound (0 = GOMAXPROCS)")
 		measures   = fs.String("measures", "all", "scan bench: comma-separated measures (euclidean,uma,uema,dtw,dust,proud,munich or 'all')")
 		scanMaxNs  = fs.Int64("scan-max-ns", 0, "fail if any scan-bench measure exceeds this ns/op (0 = no check; the CI regression gate)")
+		idxMaxNs   = fs.Int64("indexed-max-ns", 0, "fail if any indexed scan-bench measure exceeds this ns/op or skips no series through the sketch index (0 = no check)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the -bench run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the -bench run to this file")
 	)
@@ -116,8 +117,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !*bench {
 		for name, set := range map[string]bool{
 			"-series": *seriesN != 0, "-length": *lengthN != 0,
-			"-scan-max-ns": *scanMaxNs != 0, "-cpuprofile": *cpuprofile != "",
-			"-memprofile": *memprofile != "",
+			"-scan-max-ns": *scanMaxNs != 0, "-indexed-max-ns": *idxMaxNs != 0,
+			"-cpuprofile": *cpuprofile != "", "-memprofile": *memprofile != "",
 		} {
 			if set {
 				return fmt.Errorf("%s requires -bench", name)
@@ -132,6 +133,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *scanMaxNs < 0 {
 		return fmt.Errorf("-scan-max-ns = %d must be non-negative", *scanMaxNs)
+	}
+	if *idxMaxNs < 0 {
+		return fmt.Errorf("-indexed-max-ns = %d must be non-negative", *idxMaxNs)
 	}
 
 	if *bench {
@@ -149,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			p := scanParams{
 				series: *seriesN, length: *lengthN, queries: *queriesN,
 				samples: *samplesN, workers: *workersN, seed: *seed,
-				tau: *benchTau, maxNs: *scanMaxNs,
+				tau: *benchTau, maxNs: *scanMaxNs, indexedMaxNs: *idxMaxNs,
 			}
 			if p.series == 0 {
 				p.series = 100_000

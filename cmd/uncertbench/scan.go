@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"uncertts/internal/distance"
 	"uncertts/internal/engine"
 	"uncertts/internal/munich"
+	"uncertts/internal/sketch"
 	"uncertts/internal/stats"
 )
 
@@ -23,7 +25,12 @@ import (
 // and over scattered per-series heap copies. The A/B isolates what the
 // arena buys: same instructions, same answers, different memory layout.
 
-// ScanMeasureResult records one measure's batched scan at scale.
+// ScanMeasureResult records one measure's batched scan at scale. The
+// ns_per_op and pruning counters describe the forced linear scan
+// (NoIndex), so they stay comparable with pre-index baselines; the
+// indexed_* fields describe the same workload routed through the sketch
+// index — bit-identical answers, fewer candidates. IndexedNsPerOp is 0
+// when the measure has no sound sketch bound (DUST).
 type ScanMeasureResult struct {
 	Measure          string  `json:"measure"`
 	Kind             string  `json:"kind"` // "topk" or "prob_range"
@@ -36,6 +43,12 @@ type ScanMeasureResult struct {
 	ResolvedByBounds int64   `json:"resolved_by_bounds"`
 	ResolvedEarly    int64   `json:"resolved_early"`
 	PrunedFraction   float64 `json:"pruned_fraction"`
+
+	IndexedNsPerOp       int64   `json:"indexed_ns_per_op"`
+	BucketsVisited       int64   `json:"buckets_visited"`
+	BucketsPruned        int64   `json:"buckets_pruned"`
+	SeriesSkippedByIndex int64   `json:"series_skipped_by_index"`
+	IndexSkippedFraction float64 `json:"index_skipped_fraction"`
 }
 
 // ScanLayoutResult is one kernel's arena-versus-scattered comparison. The
@@ -50,18 +63,19 @@ type ScanLayoutResult struct {
 
 // ScanBenchReport is the -bench JSON document of the production-scale path.
 type ScanBenchReport struct {
-	Series      int                 `json:"series"`
-	Length      int                 `json:"length"`
-	Queries     int                 `json:"queries"`
-	Samples     int                 `json:"samples"`
-	Workers     int                 `json:"workers"`
-	Seed        int64               `json:"seed"`
-	Eps         float64             `json:"eps"`
-	Tau         float64             `json:"tau"`
-	BuildNs     int64               `json:"build_ns"`
-	CalibrateNs int64               `json:"calibrate_ns"`
-	Measures    []ScanMeasureResult `json:"measures"`
-	Layout      []ScanLayoutResult  `json:"layout"`
+	Series       int                 `json:"series"`
+	Length       int                 `json:"length"`
+	Queries      int                 `json:"queries"`
+	Samples      int                 `json:"samples"`
+	Workers      int                 `json:"workers"`
+	Seed         int64               `json:"seed"`
+	Eps          float64             `json:"eps"`
+	Tau          float64             `json:"tau"`
+	BuildNs      int64               `json:"build_ns"`
+	IndexBuildNs int64               `json:"index_build_ns"`
+	CalibrateNs  int64               `json:"calibrate_ns"`
+	Measures     []ScanMeasureResult `json:"measures"`
+	Layout       []ScanLayoutResult  `json:"layout"`
 }
 
 // scanParams carries the resolved scan-bench configuration.
@@ -71,6 +85,7 @@ type scanParams struct {
 	tau                                       float64
 	measures                                  []engine.Measure
 	maxNs                                     int64
+	indexedMaxNs                              int64
 }
 
 // genScanBatch produces count deterministic synthetic series starting at
@@ -185,6 +200,45 @@ func timeAdaptive(rounds int, floor time.Duration, pass func() error) (time.Dura
 	return best, nil
 }
 
+// scanArm builds an engine over snap with opts, times the measure's
+// batched query workload, and returns the per-query timing, the engine
+// statistics of the final round, and that round's (deterministic) answers
+// so the caller can assert scan/index parity.
+func scanArm(snap *corpus.Snapshot, opts engine.Options, m engine.Measure, qis []int, eps, tau float64) (nsPerOp int64, matches int, st engine.Stats, res interface{}, indexed bool, err error) {
+	e, err := engine.NewFromSnapshot(snap, opts)
+	if err != nil {
+		return 0, 0, engine.Stats{}, nil, false, err
+	}
+	elapsed, err := timeAdaptive(3, 2*time.Second, func() error {
+		e.ResetStats()
+		matches = 0
+		if m.Probabilistic() {
+			r, err := e.ProbRangeBatch(qis, eps, tau)
+			if err != nil {
+				return err
+			}
+			for _, ids := range r {
+				matches += len(ids)
+			}
+			res = r
+			return nil
+		}
+		r, err := e.TopKBatch(qis, 10)
+		if err != nil {
+			return err
+		}
+		for _, nn := range r {
+			matches += len(nn)
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return 0, 0, engine.Stats{}, nil, false, err
+	}
+	return elapsed.Nanoseconds() / int64(len(qis)), matches, e.Stats(), res, e.Indexed(), nil
+}
+
 // runScanBench is the production-scale bench path.
 func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 	report := ScanBenchReport{
@@ -198,10 +252,29 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 	}
 	report.BuildNs = time.Since(start).Nanoseconds()
 	snap := c.Snapshot()
-	if _, ok := snap.Columns(); !ok {
+	cols, dense := snap.Columns()
+	if !dense {
 		return fmt.Errorf("scan bench: corpus snapshot is not dense")
 	}
 	fmt.Fprintf(stderr, "scan bench: %d x %d built in %v\n", p.series, p.length, time.Since(start).Round(time.Millisecond))
+
+	// The corpus maintained its index incrementally during the insert
+	// batches above; time a from-scratch bulk build over the same sketch
+	// rows so the report records what a cold rebuild (recovery, compaction)
+	// costs at this scale.
+	if tree := snap.Index(); tree != nil {
+		members := make([]sketch.Member, snap.Len())
+		for i := range members {
+			members[i] = sketch.Member{ID: snap.Entry(i).ID, Row: i}
+		}
+		start = time.Now()
+		rebuilt := sketch.Build(tree.Layout(), tree.LeafCap(), members, cols.Sketch)
+		report.IndexBuildNs = time.Since(start).Nanoseconds()
+		if rebuilt.Len() != snap.Len() {
+			return fmt.Errorf("scan bench: bulk index rebuild tracks %d members, want %d", rebuilt.Len(), snap.Len())
+		}
+		fmt.Fprintf(stderr, "scan bench: sketch index bulk-built in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	qis := make([]int, p.queries)
 	for i := range qis {
@@ -217,43 +290,21 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 	fmt.Fprintf(stderr, "scan bench: eps calibrated to %.4f in %v\n", eps, time.Since(start).Round(time.Millisecond))
 
 	for _, m := range p.measures {
-		e, err := engine.NewFromSnapshot(snap, engine.Options{
-			Measure: m, Workers: p.workers, MUNICH: munich.Options{Bins: 1024},
-		})
+		// The scan arm forces the linear path so ns_per_op stays comparable
+		// with pre-index baselines; the indexed arm runs the same workload
+		// through the sketch index and must return the same answers.
+		linOpts := engine.Options{
+			Measure: m, Workers: p.workers, NoIndex: true,
+			MUNICH: munich.Options{Bins: 1024},
+		}
+		nsPerOp, matches, st, linRes, _, err := scanArm(snap, linOpts, m, qis, eps, p.tau)
 		if err != nil {
 			return fmt.Errorf("%s: %w", m, err)
 		}
-		var matches int
-		elapsed, err := timeAdaptive(3, 2*time.Second, func() error {
-			e.ResetStats()
-			matches = 0
-			if m.Probabilistic() {
-				res, err := e.ProbRangeBatch(qis, eps, p.tau)
-				if err != nil {
-					return err
-				}
-				for _, ids := range res {
-					matches += len(ids)
-				}
-				return nil
-			}
-			res, err := e.TopKBatch(qis, 10)
-			if err != nil {
-				return err
-			}
-			for _, nn := range res {
-				matches += len(nn)
-			}
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", m, err)
-		}
-		st := e.Stats()
 		r := ScanMeasureResult{
 			Measure:          m.String(),
 			Kind:             "topk",
-			NsPerOp:          elapsed.Nanoseconds() / int64(len(qis)),
+			NsPerOp:          nsPerOp,
 			Matches:          matches,
 			Candidates:       st.Candidates,
 			Completed:        st.Completed,
@@ -268,9 +319,28 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 		if st.Candidates > 0 {
 			r.PrunedFraction = float64(st.Pruned()) / float64(st.Candidates)
 		}
+
+		idxOpts := linOpts
+		idxOpts.NoIndex = false
+		idxNs, _, ist, idxRes, indexed, err := scanArm(snap, idxOpts, m, qis, eps, p.tau)
+		if err != nil {
+			return fmt.Errorf("%s indexed: %w", m, err)
+		}
+		if indexed {
+			if !reflect.DeepEqual(idxRes, linRes) {
+				return fmt.Errorf("scan bench: %s indexed answers differ from the linear scan", m)
+			}
+			r.IndexedNsPerOp = idxNs
+			r.BucketsVisited = ist.BucketsVisited
+			r.BucketsPruned = ist.BucketsPruned
+			r.SeriesSkippedByIndex = ist.SeriesSkippedByIndex
+			if total := ist.Candidates + ist.SeriesSkippedByIndex; total > 0 {
+				r.IndexSkippedFraction = float64(ist.SeriesSkippedByIndex) / float64(total)
+			}
+		}
 		report.Measures = append(report.Measures, r)
-		fmt.Fprintf(stderr, "scan bench: %-10s %12d ns/op  (%d matches, %.1f%% pruned)\n",
-			m, r.NsPerOp, matches, 100*r.PrunedFraction)
+		fmt.Fprintf(stderr, "scan bench: %-10s scan %12d ns/op, indexed %12d ns/op  (%d matches, %.1f%% pruned, %.1f%% index-skipped)\n",
+			m, r.NsPerOp, r.IndexedNsPerOp, matches, 100*r.PrunedFraction, 100*r.IndexSkippedFraction)
 	}
 
 	layout, err := runLayoutBench(stderr, snap, qis, eps, p.measures)
@@ -286,16 +356,31 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 			}
 		}
 	}
+	if p.indexedMaxNs > 0 {
+		for _, r := range report.Measures {
+			if r.IndexedNsPerOp == 0 {
+				continue // no sound sketch bound for this measure (DUST)
+			}
+			if r.SeriesSkippedByIndex == 0 {
+				return fmt.Errorf("index regression: %s skipped no series through the sketch index", r.Measure)
+			}
+			if r.IndexedNsPerOp > p.indexedMaxNs {
+				return fmt.Errorf("index regression: %s %d ns/op exceeds -indexed-max-ns %d", r.Measure, r.IndexedNsPerOp, p.indexedMaxNs)
+			}
+		}
+	}
 
 	if asJSON {
 		return writeJSON(stdout, report)
 	}
 	fmt.Fprintf(stdout, "scan bench %d series x %d length, %d queries, workers=%d, eps=%.4f\n",
 		p.series, p.length, p.queries, p.workers, eps)
-	fmt.Fprintf(stdout, "%-10s %6s %14s %10s %12s %12s %10s\n", "measure", "kind", "ns/op", "matches", "candidates", "completed", "pruned%")
+	fmt.Fprintf(stdout, "%-10s %6s %14s %14s %10s %12s %12s %10s %10s\n",
+		"measure", "kind", "scan-ns/op", "idx-ns/op", "matches", "candidates", "completed", "pruned%", "skipped%")
 	for _, r := range report.Measures {
-		fmt.Fprintf(stdout, "%-10s %6s %14d %10d %12d %12d %9.1f%%\n",
-			r.Measure, r.Kind, r.NsPerOp, r.Matches, r.Candidates, r.Completed, 100*r.PrunedFraction)
+		fmt.Fprintf(stdout, "%-10s %6s %14d %14d %10d %12d %12d %9.1f%% %9.1f%%\n",
+			r.Measure, r.Kind, r.NsPerOp, r.IndexedNsPerOp, r.Matches, r.Candidates, r.Completed,
+			100*r.PrunedFraction, 100*r.IndexSkippedFraction)
 	}
 	for _, l := range report.Layout {
 		fmt.Fprintf(stdout, "layout %-10s arena %d ns/scan, scattered %d ns/scan (%.2fx)\n",

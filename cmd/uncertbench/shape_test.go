@@ -53,17 +53,20 @@ func TestReportWireShapes(t *testing.T) {
 		}},
 		"BenchReport": {BenchReport{}, []string{"measures", "store"}},
 		"ScanMeasureResult": {ScanMeasureResult{}, []string{
-			"abandoned_early", "candidates", "completed", "kind", "matches",
-			"measure", "ns_per_op", "pruned_by_envelope", "pruned_fraction",
-			"resolved_by_bounds", "resolved_early",
+			"abandoned_early", "buckets_pruned", "buckets_visited",
+			"candidates", "completed", "index_skipped_fraction",
+			"indexed_ns_per_op", "kind", "matches", "measure", "ns_per_op",
+			"pruned_by_envelope", "pruned_fraction", "resolved_by_bounds",
+			"resolved_early", "series_skipped_by_index",
 		}},
 		"ScanLayoutResult": {ScanLayoutResult{}, []string{
 			"arena_ns_per_scan", "kernel", "scattered_ns_per_scan",
 			"scattered_over_arena",
 		}},
 		"ScanBenchReport": {ScanBenchReport{}, []string{
-			"build_ns", "calibrate_ns", "eps", "layout", "length", "measures",
-			"queries", "samples", "seed", "series", "tau", "workers",
+			"build_ns", "calibrate_ns", "eps", "index_build_ns", "layout",
+			"length", "measures", "queries", "samples", "seed", "series",
+			"tau", "workers",
 		}},
 	}
 	for name, tc := range want {

@@ -70,6 +70,7 @@ type config struct {
 	maxWorkers int
 	mcSamples  int
 	timeout    time.Duration
+	noIndex    bool
 
 	dataDir       string
 	fsync         string
@@ -93,6 +94,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.maxWorkers, "max-workers", 0, "per-request worker budget cap (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.mcSamples, "munich-bins", 0, "MUNICH convolution estimator bins (0 = default)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-query deadline for requests without timeout_ms, e.g. 2s (0 = none)")
+	fs.BoolVar(&cfg.noIndex, "no-index", false, "serve every query through the linear scan, ignoring the sketch index")
 	fs.StringVar(&cfg.dataDir, "data", "", "durable store directory (empty = in-memory corpus, restart loses everything)")
 	fs.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data: always (fsync before acknowledging each mutation) or interval")
 	fs.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "fsync period of -fsync interval")
@@ -202,6 +204,7 @@ func buildServer(cfg config) (*server.Server, *store.Store, error) {
 		MaxWorkers:     cfg.maxWorkers,
 		DefaultTimeout: cfg.timeout,
 		MUNICH:         munich.Options{Bins: cfg.mcSamples},
+		NoIndex:        cfg.noIndex,
 		Store:          st,
 	}), st, nil
 }

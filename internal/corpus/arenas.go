@@ -3,6 +3,7 @@ package corpus
 import (
 	"uncertts/internal/arena"
 	"uncertts/internal/distance"
+	"uncertts/internal/sketch"
 )
 
 // arenas bundles the columnar builders holding every float64 artifact of
@@ -25,6 +26,11 @@ type arenas struct {
 	suffix *arena.Builder // PROUD suffix energies, stride n+1
 	envLo  *arena.Builder // MUNICH envelope minima, stride cfg.Segments
 	envHi  *arena.Builder // MUNICH envelope maxima, stride cfg.Segments
+	sketch *arena.Builder // PAA sketch rows for the bucket index, stride lay.Stride()
+
+	// lay is the sketch-row geometry all sketch rows share (and the bucket
+	// tree indexes).
+	lay sketch.Layout
 
 	// envScratch is the deque storage LB_Keogh envelope builds reuse
 	// across inserts; buildEntry runs under the corpus writer lock, so
@@ -36,6 +42,7 @@ type arenas struct {
 // and cfg.Segments known), with capacity reserved for capRows series.
 func newArenas(cfg Config, capRows int) *arenas {
 	n := cfg.Length
+	lay := sketch.NewLayout(n, cfg.SketchSegments, cfg.Segments)
 	return &arenas{
 		values: arena.NewBuilder(n, capRows),
 		sigmas: arena.NewBuilder(n, capRows),
@@ -46,6 +53,8 @@ func newArenas(cfg Config, capRows int) *arenas {
 		suffix: arena.NewBuilder(n+1, capRows),
 		envLo:  arena.NewBuilder(cfg.Segments, capRows),
 		envHi:  arena.NewBuilder(cfg.Segments, capRows),
+		sketch: arena.NewBuilder(lay.Stride(), capRows),
+		lay:    lay,
 	}
 }
 
@@ -68,7 +77,7 @@ func (a *arenas) truncate(rows int) {
 }
 
 func (a *arenas) all() []*arena.Builder {
-	return []*arena.Builder{a.values, a.sigmas, a.uma, a.uema, a.upper, a.lower, a.suffix, a.envLo, a.envHi}
+	return []*arena.Builder{a.values, a.sigmas, a.uma, a.uema, a.upper, a.lower, a.suffix, a.envLo, a.envHi, a.sketch}
 }
 
 // compact rebuilds every arena with only the rows of the surviving entries,
@@ -86,6 +95,8 @@ func (a *arenas) compact(keep []int) *arenas {
 		suffix: a.suffix.Compact(keep),
 		envLo:  a.envLo.Compact(keep),
 		envHi:  a.envHi.Compact(keep),
+		sketch: a.sketch.Compact(keep),
+		lay:    a.lay,
 	}
 }
 
@@ -108,6 +119,9 @@ type Columns struct {
 	// EnvLo and EnvHi hold the MUNICH segment envelopes (stride =
 	// cfg.Segments; zero rows for series without samples).
 	EnvLo, EnvHi arena.Matrix
+	// Sketch holds the PAA sketch rows the bucket index summarises
+	// (stride = the sketch layout's stride).
+	Sketch arena.Matrix
 }
 
 // capture freezes the current builder state as a columnar view.
@@ -122,5 +136,6 @@ func (a *arenas) capture() *Columns {
 		Suffix: a.suffix.Matrix(),
 		EnvLo:  a.envLo.Matrix(),
 		EnvHi:  a.envHi.Matrix(),
+		Sketch: a.sketch.Matrix(),
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"uncertts/internal/dust"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
+	"uncertts/internal/sketch"
 	"uncertts/internal/stats"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/uncertain"
@@ -74,6 +75,16 @@ type Config struct {
 	Mode timeseries.WeightMode
 	// DUST configures the shared phi-table evaluator.
 	DUST dust.Options
+
+	// SketchSegments is the PAA segment count of the sketch index rows
+	// (0 = sketch.DefaultSegments, clamped to the series length), and
+	// SketchLeafCap the bucket-tree leaf capacity (0 = sketch.DefaultLeafCap).
+	// Both are tuning knobs only — query results are bit-identical for every
+	// setting (the index is a sound prefilter) — and are deliberately NOT
+	// persisted by checkpoints: a restored corpus adopts the defaults, which
+	// changes nothing but bucket shapes.
+	SketchSegments int
+	SketchLeafCap  int
 }
 
 // withDefaults resolves the zero values that do not need the series length.
@@ -86,6 +97,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Segments <= 0 {
 		c.Segments = 16
+	}
+	if c.SketchSegments <= 0 {
+		c.SketchSegments = sketch.DefaultSegments
+	}
+	if c.SketchLeafCap <= 0 {
+		c.SketchLeafCap = sketch.DefaultLeafCap
 	}
 	return c
 }
@@ -101,6 +118,7 @@ func (c Config) resolveLength(n int) Config {
 		}
 	}
 	c.Segments = munich.ClampSegments(n, c.Segments)
+	c.SketchSegments = munich.ClampSegments(n, c.SketchSegments)
 	return c
 }
 
@@ -171,6 +189,9 @@ type Entry struct {
 	Suffix []float64
 	// Env is the MUNICH segment envelope (zero value when Samples is nil).
 	Env munich.Envelope
+	// Sketch is the series' PAA sketch row (see internal/sketch for the
+	// layout), the summary the bucket index is built over.
+	Sketch []float64
 	// OwnErrors records whether the series was inserted with its own error
 	// distributions (as opposed to adopting the corpus defaults) — the
 	// fidelity bit a checkpoint needs to re-ingest the entry through the
@@ -196,6 +217,11 @@ type Corpus struct {
 	// artifacts. Nil until the series length is resolved (the first insert,
 	// for corpora configured without a Length). Guarded by mu.
 	ar *arenas
+	// tree is the current version of the persistent bucket-tree sketch
+	// index over ar's sketch rows; it is maintained incrementally with every
+	// mutation and published (immutably) with every snapshot. Nil exactly
+	// when ar is nil. Guarded by mu.
+	tree *sketch.Tree
 }
 
 // New returns an empty corpus with the given artifact geometry.
@@ -206,7 +232,9 @@ func New(cfg Config) *Corpus {
 	if cfg.Length > 0 {
 		snap.finishGeometry()
 		c.ar = newArenas(snap.cfg, 0)
+		c.tree = sketch.NewTree(c.ar.lay, snap.cfg.SketchLeafCap)
 		snap.cols = c.ar.capture()
+		snap.tree = c.tree
 	}
 	c.cur.Store(snap)
 	return c
@@ -326,16 +354,22 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 		}
 		if c.ar == nil {
 			c.ar = newArenas(cfg, len(insert))
+			c.tree = sketch.NewTree(c.ar.lay, cfg.SketchLeafCap)
 		} else if len(insert) > 1 {
 			c.ar.grow(len(insert))
 		}
 	}
 
 	entries := make([]*Entry, 0, len(old.entries)+len(insert)-len(drop))
+	// Dropped entries become tree deletions: their sketch rows stay resident
+	// until compaction, so the tree can descend by the removed row itself.
+	var delMembers []sketch.Member
 	for _, e := range old.entries {
-		if !drop[e.ID] {
-			entries = append(entries, e)
+		if drop[e.ID] {
+			delMembers = append(delMembers, sketch.Member{ID: e.ID, Row: e.row})
+			continue
 		}
+		entries = append(entries, e)
 	}
 	// Inserts stage rows into the arenas as they build; an abort (bad
 	// series, rejected hook) must roll the staged rows back so the arenas
@@ -352,12 +386,14 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 		}()
 	}
 	var ids []int
+	var insMembers []sketch.Member
 	for i, s := range insert {
 		e, err := buildEntry(c.nextID+i, s, cfg, c.ar)
 		if err != nil {
 			return nil, err
 		}
 		ids = append(ids, e.ID)
+		insMembers = append(insMembers, sketch.Member{ID: e.ID, Row: e.row})
 		entries = append(entries, e)
 	}
 	if logged && c.hook != nil {
@@ -373,7 +409,11 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 	// storage — compaction allocates fresh arrays and fresh Entry objects).
 	if c.ar != nil {
 		if dead := c.ar.rows() - len(entries); dead > 0 && dead*4 > c.ar.rows() {
+			// compactLocked bulk-rebuilds the tree over the compacted rows,
+			// so the incremental update is subsumed.
 			entries = c.compactLocked(entries)
+		} else if len(insMembers) > 0 || len(delMembers) > 0 {
+			c.tree = c.tree.Update(c.ar.sketch.Matrix(), insMembers, delMembers)
 		}
 	}
 	c.publish(cfg, old, entries)
@@ -405,9 +445,17 @@ func (c *Corpus) compactLocked(entries []*Entry) []*Entry {
 		if ne.Samples != nil {
 			ne.Env = munich.Envelope{Lo: cols.EnvLo.Row(i), Hi: cols.EnvHi.Row(i)}
 		}
+		ne.Sketch = cols.Sketch.Row(i)
 		out[i] = &ne
 	}
 	c.ar = na
+	// Compaction rewires every member to a new row, so the tree is rebuilt
+	// in bulk over the dense arena rather than patched.
+	members := make([]sketch.Member, len(out))
+	for i, e := range out {
+		members[i] = sketch.Member{ID: e.ID, Row: i}
+	}
+	c.tree = sketch.Build(na.lay, c.tree.LeafCap(), members, cols.Sketch)
 	return out
 }
 
@@ -465,6 +513,15 @@ func Restore(cfg Config, series []RestoredSeries, nextID int, epoch uint64) (*Co
 	}
 	if c.ar != nil {
 		snap.cols = c.ar.capture()
+		// The sketch rows were rebuilt row by row through buildEntry — the
+		// same incremental path inserts use — so the restored index prunes
+		// bit-identically; only the bucket shapes depend on load order.
+		members := make([]sketch.Member, len(entries))
+		for i, e := range entries {
+			members[i] = sketch.Member{ID: e.ID, Row: e.row}
+		}
+		c.tree = sketch.Build(c.ar.lay, snap.cfg.SketchLeafCap, members, snap.cols.Sketch)
+		snap.tree = c.tree
 	}
 	c.cur.Store(snap)
 	return c, nil
@@ -493,6 +550,10 @@ func (c *Corpus) publish(cfg Config, old *Snapshot, entries []*Entry) {
 	if c.ar != nil && c.ar.rows() == len(entries) {
 		snap.cols = c.ar.capture()
 	}
+	// The index travels with every snapshot, dense or not: its bounds read
+	// only the tree's own region storage, and member positions resolve
+	// through PosOf on sparse snapshots.
+	snap.tree = c.tree
 	c.cur.Store(snap)
 }
 
@@ -601,5 +662,13 @@ func buildEntry(id int, s Series, cfg Config, ar *arenas) (*Entry, error) {
 		e.Env = munich.Envelope{Lo: envLo, Hi: envHi}
 		munich.BuildEnvelopeInto(e.Env, ss)
 	}
+	e.Sketch = ar.sketch.AppendZero()
+	var sigmaMax float64
+	for _, v := range e.Sigmas {
+		if v > sigmaMax {
+			sigmaMax = v
+		}
+	}
+	ar.lay.FillRow(e.Sketch, obs, e.UMA, e.UEMA, e.Upper, e.Lower, envLo, envHi, e.Suffix[0], sigmaMax)
 	return e, nil
 }

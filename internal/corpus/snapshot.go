@@ -3,6 +3,7 @@ package corpus
 import (
 	"uncertts/internal/dust"
 	"uncertts/internal/munich"
+	"uncertts/internal/sketch"
 	"uncertts/internal/stats"
 	"uncertts/internal/uncertain"
 )
@@ -20,6 +21,7 @@ type Snapshot struct {
 	spans   [][2]int // MUNICH segment geometry for cfg.Segments
 	nextID  int      // the ID the next insert will receive
 	cols    *Columns // dense columnar view; nil while dead rows await compaction
+	tree    *sketch.Tree
 }
 
 // finishGeometry resolves the derived geometry once cfg.Length is known.
@@ -96,6 +98,12 @@ func (s *Snapshot) Spans() [][2]int { return s.spans }
 // corpus compacts). ok=false means readers must fall back to the per-entry
 // views, which alias the same storage row by row.
 func (s *Snapshot) Columns() (*Columns, bool) { return s.cols, s.cols != nil }
+
+// Index returns the snapshot's immutable bucket-tree sketch index, present
+// on every snapshot with resolved geometry (dense or not — member positions
+// resolve through PosOf on sparse snapshots). Nil while the corpus is empty
+// and no length was configured.
+func (s *Snapshot) Index() *sketch.Tree { return s.tree }
 
 // DefaultErrors returns the per-timestamp error distributions attached to
 // series inserted without their own — the model ad-hoc queries adopt when

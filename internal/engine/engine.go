@@ -191,7 +191,16 @@ type Options struct {
 	ShardSize int
 	// NoPrune disables every pruning device, forcing the naive full scan.
 	// It exists as the reference arm of the engine benchmarks and tests.
+	// It implies NoIndex.
 	NoPrune bool
+	// NoIndex disables the sketch bucket index, forcing the linear sharded
+	// scan (the per-candidate pruning devices still run). The index is a
+	// sound prefilter, so results are bit-identical either way.
+	NoIndex bool
+	// IndexThreshold is the minimum snapshot size at which the sketch
+	// bucket index engages (0 = 1024; negative = always, which the parity
+	// tests use). Below it the linear scan beats the bucket bookkeeping.
+	IndexThreshold int
 	// DUST configures the shared evaluator for MeasureDUST.
 	DUST dust.Options
 	// Segments is the envelope segment count of the MUNICH filter index
@@ -227,6 +236,16 @@ type Stats struct {
 	// ResolvedEarly counts PROUD candidates whose predicate was decided by
 	// the sound prefix bounds after only a prefix of timestamps.
 	ResolvedEarly int64
+	// BucketsVisited and BucketsPruned count sketch-index bucket decisions:
+	// a pruned bucket's members were never candidates at all. Zero on
+	// engines running the linear scan.
+	BucketsVisited int64
+	BucketsPruned  int64
+	// SeriesSkippedByIndex counts candidates never examined because their
+	// whole bucket was excluded by its index bound (excluding the query
+	// series itself). For index queries, Candidates + SeriesSkippedByIndex
+	// = queries * (N - 1).
+	SeriesSkippedByIndex int64
 }
 
 // Merge returns the field-wise sum of two stats — the aggregation the
@@ -239,6 +258,10 @@ func (s Stats) Merge(o Stats) Stats {
 		PrunedByEnvelope: s.PrunedByEnvelope + o.PrunedByEnvelope,
 		ResolvedByBounds: s.ResolvedByBounds + o.ResolvedByBounds,
 		ResolvedEarly:    s.ResolvedEarly + o.ResolvedEarly,
+
+		BucketsVisited:       s.BucketsVisited + o.BucketsVisited,
+		BucketsPruned:        s.BucketsPruned + o.BucketsPruned,
+		SeriesSkippedByIndex: s.SeriesSkippedByIndex + o.SeriesSkippedByIndex,
 	}
 }
 
@@ -253,8 +276,13 @@ func (s Stats) String() string {
 	if s.Candidates > 0 {
 		pct = 100 * float64(s.Pruned()) / float64(s.Candidates)
 	}
-	return fmt.Sprintf("%d candidates, %d completed, %d abandoned early, %d envelope-pruned, %d resolved by bounds, %d resolved on a prefix (%.1f%% of the scan skipped)",
+	line := fmt.Sprintf("%d candidates, %d completed, %d abandoned early, %d envelope-pruned, %d resolved by bounds, %d resolved on a prefix (%.1f%% of the scan skipped)",
 		s.Candidates, s.Completed, s.AbandonedEarly, s.PrunedByEnvelope, s.ResolvedByBounds, s.ResolvedEarly, pct)
+	if s.BucketsVisited > 0 || s.BucketsPruned > 0 {
+		line += fmt.Sprintf("; index: %d buckets visited, %d pruned, %d series skipped",
+			s.BucketsVisited, s.BucketsPruned, s.SeriesSkippedByIndex)
+	}
+	return line
 }
 
 // Engine answers pruned top-k and range similarity queries over one corpus
@@ -274,12 +302,19 @@ type Engine struct {
 	spans        [][2]int          // MUNICH segment geometry
 	segments     int               // resolved MUNICH segment count
 
+	// idx is the engine's view of the snapshot's sketch index; nil when
+	// queries run the linear sharded scan (see resolveIndex).
+	idx *engineIndex
+
 	candidates     atomic.Int64
 	completed      atomic.Int64
 	abandoned      atomic.Int64
 	pruned         atomic.Int64
 	resolvedBounds atomic.Int64
 	resolvedEarly  atomic.Int64
+	bucketsVisited atomic.Int64
+	bucketsPruned  atomic.Int64
+	seriesSkipped  atomic.Int64
 }
 
 // New builds an engine over a prepared workload — a thin wrapper around
@@ -312,6 +347,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 	e := &Engine{snap: snap, opts: opts}
 	n := snap.SeriesLen()
 	cols, dense := snap.Columns()
+	filterReuse := false
 
 	switch opts.Measure {
 	case MeasureEuclidean:
@@ -320,6 +356,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 		reuse := opts.W == cfg.W && opts.Mode == cfg.Mode &&
 			//lint:allow floatcmp artifact reuse requires the bit-identical filter config; a near-miss must recompute
 			(opts.Measure == MeasureUMA || opts.Lambda == cfg.Lambda)
+		filterReuse = reuse
 		if reuse && dense {
 			if opts.Measure == MeasureUMA {
 				e.vecs = matRows(cols.UMA)
@@ -420,6 +457,7 @@ func NewFromSnapshot(snap *corpus.Snapshot, opts Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("engine: %w: %v", qerr.ErrUnknownMeasure, opts.Measure)
 	}
+	e.resolveIndex(cfg, dense, filterReuse)
 	return e, nil
 }
 
@@ -449,6 +487,10 @@ func (e *Engine) Stats() Stats {
 		PrunedByEnvelope: e.pruned.Load(),
 		ResolvedByBounds: e.resolvedBounds.Load(),
 		ResolvedEarly:    e.resolvedEarly.Load(),
+
+		BucketsVisited:       e.bucketsVisited.Load(),
+		BucketsPruned:        e.bucketsPruned.Load(),
+		SeriesSkippedByIndex: e.seriesSkipped.Load(),
 	}
 }
 
@@ -460,6 +502,9 @@ func (e *Engine) ResetStats() {
 	e.pruned.Store(0)
 	e.resolvedBounds.Store(0)
 	e.resolvedEarly.Store(0)
+	e.bucketsVisited.Store(0)
+	e.bucketsPruned.Store(0)
+	e.seriesSkipped.Store(0)
 }
 
 // uncount retracts a candidate that will never resolve — a cancelled or
@@ -723,6 +768,9 @@ func (e *Engine) topKPrepared(ctx context.Context, pqs []*PreparedQuery, k int) 
 	if err := e.checkPrepared(pqs); err != nil {
 		return nil, err
 	}
+	if e.idx != nil {
+		return e.topKIndexed(ctx, pqs, k)
+	}
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
@@ -823,6 +871,9 @@ func (e *Engine) rangePrepared(ctx context.Context, pq *PreparedQuery, eps float
 	}
 	if math.IsNaN(eps) || eps < 0 {
 		return nil, fmt.Errorf("engine: %w", qerr.BadRequestf("eps = %v must be non-negative", eps))
+	}
+	if e.idx != nil {
+		return e.rangeIndexed(ctx, pq, eps, emit)
 	}
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize

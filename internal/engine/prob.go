@@ -221,6 +221,9 @@ func (e *Engine) probRangePrepared(ctx context.Context, pqs []*PreparedQuery, ep
 	if err != nil {
 		return nil, err
 	}
+	if e.idx != nil {
+		return e.probRangeIndexed(ctx, pqs, eps, tau, epsLimit, emit)
+	}
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize
 	numShards := (n + shardSize - 1) / shardSize
@@ -321,6 +324,9 @@ func (e *Engine) probTopKPrepared(ctx context.Context, pqs []*PreparedQuery, eps
 	}
 	if err := e.checkProbQuery(pqs, eps); err != nil {
 		return nil, err
+	}
+	if e.idx != nil {
+		return e.probTopKIndexed(ctx, pqs, eps, k)
 	}
 	n := e.snap.Len()
 	shardSize := e.opts.ShardSize

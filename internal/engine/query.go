@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 
+	"uncertts/internal/distance"
 	"uncertts/internal/munich"
 	"uncertts/internal/proud"
 	"uncertts/internal/qerr"
 	"uncertts/internal/query"
+	"uncertts/internal/sketch"
 	"uncertts/internal/stats"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/uncertain"
@@ -54,6 +56,9 @@ type PreparedQuery struct {
 	self int // snapshot position to exclude (-1 for ad-hoc queries)
 
 	vec    []float64              // scan vector (lock-step measures, DTW, PROUD)
+	qpaa   []float64              // PAA of vec over the sketch layout (indexed engines)
+	qenvLo []float64              // PAA of the query's lower DTW envelope (indexed DTW)
+	qenvHi []float64              // PAA of the query's upper DTW envelope (indexed DTW)
 	pdf    uncertain.PDFSeries    // query-side error model (DUST)
 	suffix []float64              // query suffix energies (PROUD)
 	varD   float64                // per-timestamp D_i variance sum (PROUD)
@@ -83,6 +88,14 @@ func (e *Engine) PrepareIndex(qi int) (*PreparedQuery, error) {
 	case MeasureMUNICH:
 		pq.sample = *ent.Samples
 		pq.env = e.envs[qi]
+	}
+	if e.idx != nil && pq.vec != nil {
+		pq.qpaa = sketch.PAA(pq.vec, e.idx.lay.Spans)
+		if e.opts.Measure == MeasureDTW {
+			up, lo := distance.Envelope(pq.vec, e.band)
+			pq.qenvHi = sketch.PAA(up, e.idx.lay.Spans)
+			pq.qenvLo = sketch.PAA(lo, e.idx.lay.Spans)
+		}
 	}
 	return pq, nil
 }
@@ -165,6 +178,14 @@ func (e *Engine) Prepare(q Query) (*PreparedQuery, error) {
 		pq.env = munich.BuildEnvelope(pq.sample, e.segments)
 	default:
 		return nil, fmt.Errorf("engine: %w: %v", qerr.ErrUnknownMeasure, e.opts.Measure)
+	}
+	if e.idx != nil && pq.vec != nil {
+		pq.qpaa = sketch.PAA(pq.vec, e.idx.lay.Spans)
+		if e.opts.Measure == MeasureDTW {
+			up, lo := distance.Envelope(pq.vec, e.band)
+			pq.qenvHi = sketch.PAA(up, e.idx.lay.Spans)
+			pq.qenvLo = sketch.PAA(lo, e.idx.lay.Spans)
+		}
 	}
 	return pq, nil
 }

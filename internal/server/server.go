@@ -68,6 +68,9 @@ type Options struct {
 	Band int
 	// MUNICH configures the probability estimator of MUNICH engines.
 	MUNICH munich.Options
+	// NoIndex forces every engine onto the linear scan path, ignoring the
+	// corpus' sketch index (debugging / apples-to-apples benchmarking).
+	NoIndex bool
 	// Store optionally attaches the durability engine behind the corpus:
 	// /healthz then reports WAL and checkpoint state, and POST
 	// /admin/checkpoint triggers a checkpoint + WAL compaction on demand.
@@ -147,6 +150,7 @@ func (s *Server) engineFor(m engine.Measure) (*engine.Engine, error) {
 		Measure: m,
 		Band:    s.opts.Band,
 		MUNICH:  s.opts.MUNICH,
+		NoIndex: s.opts.NoIndex,
 	})
 	if err != nil {
 		return nil, err

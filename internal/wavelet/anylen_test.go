@@ -1,0 +1,114 @@
+package wavelet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"uncertts/internal/stats"
+)
+
+// The corpus geometries the sketch index must serve: one short non-power
+// length, one exact power of two, one long ragged length.
+var anyLengths = []int{48, 128, 1000}
+
+func genSeriesFor(n int, seed int64) []float64 {
+	rng := stats.SplitRand(seed, int64(n))
+	xs := make([]float64, n)
+	for t := range xs {
+		xs[t] = math.Sin(0.07*float64(t)) + 0.3*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestTransformAnyRoundTrip(t *testing.T) {
+	for _, n := range anyLengths {
+		xs := genSeriesFor(n, 5)
+		coeffs, err := TransformAny(xs)
+		if err != nil {
+			t.Fatalf("length %d: TransformAny: %v", n, err)
+		}
+		if len(coeffs) != NextPowerOfTwo(n) {
+			t.Fatalf("length %d: %d coefficients, want %d", n, len(coeffs), NextPowerOfTwo(n))
+		}
+		back, err := InverseAny(coeffs, n)
+		if err != nil {
+			t.Fatalf("length %d: InverseAny: %v", n, err)
+		}
+		if len(back) != n {
+			t.Fatalf("length %d: reconstruction has %d points", n, len(back))
+		}
+		for i := range xs {
+			if math.Abs(back[i]-xs[i]) > 1e-10 {
+				t.Fatalf("length %d: round trip diverges at %d: %g vs %g", n, i, back[i], xs[i])
+			}
+		}
+	}
+}
+
+func TestTransformAnyParsevalOverPadded(t *testing.T) {
+	for _, n := range anyLengths {
+		xs := genSeriesFor(n, 9)
+		padded := PadToPowerOfTwo(xs)
+		coeffs, err := TransformAny(xs)
+		if err != nil {
+			t.Fatalf("length %d: %v", n, err)
+		}
+		var ePad, eCoeff float64
+		for _, v := range padded {
+			ePad += v * v
+		}
+		for _, c := range coeffs {
+			eCoeff += c * c
+		}
+		if math.Abs(ePad-eCoeff) > 1e-8*(1+ePad) {
+			t.Fatalf("length %d: padded energy %g vs coefficient energy %g", n, ePad, eCoeff)
+		}
+	}
+}
+
+// The strict pair keeps rejecting ragged lengths — the Any variants are the
+// only sanctioned entry point for them.
+func TestStrictTransformStillRejects(t *testing.T) {
+	for _, n := range []int{48, 1000} {
+		if _, err := Transform(make([]float64, n)); !errors.Is(err, ErrNotPowerOfTwo) {
+			t.Fatalf("Transform(%d) error = %v, want ErrNotPowerOfTwo", n, err)
+		}
+		if _, err := Inverse(make([]float64, n)); !errors.Is(err, ErrNotPowerOfTwo) {
+			t.Fatalf("Inverse(%d) error = %v, want ErrNotPowerOfTwo", n, err)
+		}
+	}
+	// 128 is a power of two: TransformAny must delegate without padding.
+	coeffs, err := TransformAny(make([]float64, 128))
+	if err != nil || len(coeffs) != 128 {
+		t.Fatalf("TransformAny(128) = %d coeffs, err %v", len(coeffs), err)
+	}
+}
+
+func TestInverseAnyValidation(t *testing.T) {
+	coeffs := make([]float64, 64)
+	if _, err := InverseAny(coeffs, 0); err == nil {
+		t.Fatal("InverseAny accepted origLen 0")
+	}
+	if _, err := InverseAny(coeffs, 65); err == nil {
+		t.Fatal("InverseAny accepted origLen beyond the coefficient length")
+	}
+	if _, err := TransformAny(nil); err == nil {
+		t.Fatal("TransformAny accepted an empty input")
+	}
+}
+
+// Padding repeats the final value, so a constant tail costs no detail
+// energy: the synopsis of a ragged-length series stays compact.
+func TestPadPolicyRepeatsLast(t *testing.T) {
+	xs := genSeriesFor(48, 2)
+	padded := PadToPowerOfTwo(xs)
+	if len(padded) != 64 {
+		t.Fatalf("padded length %d, want 64", len(padded))
+	}
+	for i := 48; i < 64; i++ {
+		if padded[i] != xs[47] {
+			t.Fatalf("pad value at %d is %g, want the final value %g", i, padded[i], xs[47])
+		}
+	}
+}

@@ -44,6 +44,57 @@ func PadToPowerOfTwo(xs []float64) []float64 {
 	return out
 }
 
+// Non-power-of-two policy
+//
+// The strict Transform/Inverse pair rejects lengths that are not powers of
+// two; TransformAny/InverseAny accept every positive length with a fixed,
+// documented treatment:
+//
+//   - pad on analysis: the input is extended to the next power of two by
+//     repeating its final value (PadToPowerOfTwo) — a continuation boundary
+//     that introduces no artificial jump, so the detail coefficients near
+//     the tail stay small;
+//   - truncate on synthesis: InverseAny reconstructs the padded vector and
+//     returns its first origLen points, which reproduces the original
+//     series exactly (round-trip identity at any length).
+//
+// Parseval holds over the padded vector, not the original: coefficient-
+// space distances lower-bound distances between padded representatives,
+// which are not comparable across series padded from different lengths and
+// over-weight the repeated tail at equal lengths. That is why the sketch
+// index (internal/sketch) summarises series with span-based PAA — exact
+// segment geometry at every length — instead of padded Haar coefficients;
+// padded transforms are for synopsis compression (NewSynopsis), where the
+// corpus pins one common length and the padding is shared by every series.
+
+// TransformAny returns the orthonormal Haar DWT of xs at any positive
+// length, applying the repeat-last padding policy above. The coefficient
+// vector has length NextPowerOfTwo(len(xs)).
+func TransformAny(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("wavelet: TransformAny: empty input")
+	}
+	if IsPowerOfTwo(len(xs)) {
+		return Transform(xs)
+	}
+	return Transform(PadToPowerOfTwo(xs))
+}
+
+// InverseAny inverts TransformAny: it reconstructs the padded series and
+// truncates it back to origLen points (0 < origLen <= len(coeffs), with
+// len(coeffs) a power of two no smaller than NextPowerOfTwo(origLen) would
+// require).
+func InverseAny(coeffs []float64, origLen int) ([]float64, error) {
+	if origLen < 1 || origLen > len(coeffs) {
+		return nil, fmt.Errorf("wavelet: InverseAny: length %d outside [1, %d]", origLen, len(coeffs))
+	}
+	full, err := Inverse(coeffs)
+	if err != nil {
+		return nil, err
+	}
+	return full[:origLen], nil
+}
+
 // Transform returns the orthonormal Haar DWT of xs, whose length must be a
 // power of two. With the orthonormal normalisation, the transform preserves
 // Euclidean distances exactly (Parseval), which is what makes a wavelet
