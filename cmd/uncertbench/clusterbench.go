@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"uncertts/internal/cluster"
+	"uncertts/internal/corpus"
+	"uncertts/internal/engine"
+	"uncertts/internal/munich"
+	"uncertts/internal/server"
+)
+
+// The cluster bench is the scatter-gather arm of -bench: the same
+// synthetic corpus the scan bench uses is served once by a single node
+// and once by an N-shard in-process cluster, and each selected top-k
+// measure is timed through three doors — the single-node /query path,
+// the coordinator with the shared pruning cut propagated to every shard
+// (production behaviour), and the coordinator with propagation disabled.
+// The first pair prices the scatter-gather machinery (fan-out, streaming
+// merge, windowing) against a single process; the second pair isolates
+// what the mid-flight bound propagation buys, as wall time and as the
+// count of full refinements the shards were spared. Every engine runs
+// NoIndex so the gain is measured on the linear scan the bound governs
+// and the counters stay comparable with the scan-bench baselines.
+//
+// To keep the CPU budget of the arms comparable, the single node answers
+// with W workers and each of the N shards with ceil(W/N): the cluster's
+// parallelism comes from the fan-out itself, not from oversubscribing
+// the host.
+
+// ClusterMeasureResult records one measure's single-vs-cluster top-k
+// comparison. MergeOverhead is cluster ns/op over single-node ns/op
+// (values under 1 mean the fan-out parallelism outweighed the merge
+// cost); PropagationSavedFraction is the share of full refinements the
+// shared cut eliminated relative to private per-shard cuts.
+type ClusterMeasureResult struct {
+	Measure                  string  `json:"measure"`
+	SingleNsPerOp            int64   `json:"single_ns_per_op"`
+	ClusterNsPerOp           int64   `json:"cluster_ns_per_op"`
+	NoPropNsPerOp            int64   `json:"no_prop_ns_per_op"`
+	MergeOverhead            float64 `json:"merge_overhead"`
+	CompletedSingle          int64   `json:"completed_single"`
+	CompletedWithProp        int64   `json:"completed_with_propagation"`
+	CompletedWithoutProp     int64   `json:"completed_without_propagation"`
+	PropagationSavedFraction float64 `json:"propagation_saved_fraction"`
+}
+
+// ClusterBenchReport is the -bench -shards JSON document.
+type ClusterBenchReport struct {
+	Series   int                    `json:"series"`
+	Length   int                    `json:"length"`
+	Queries  int                    `json:"queries"`
+	Samples  int                    `json:"samples"`
+	Workers  int                    `json:"workers"`
+	Shards   int                    `json:"shards"`
+	K        int                    `json:"k"`
+	Seed     int64                  `json:"seed"`
+	BuildNs  int64                  `json:"build_ns"`
+	Measures []ClusterMeasureResult `json:"measures"`
+}
+
+// clusterBenchK is the neighbour count of the cluster bench queries,
+// matching the scan bench's top-k workload.
+const clusterBenchK = 10
+
+func clusterServerOptions(workers int) server.Options {
+	return server.Options{
+		DefaultWorkers: workers,
+		MUNICH:         munich.Options{Bins: 1024},
+		NoIndex:        true,
+	}
+}
+
+// buildClusterShards stands up the N-shard in-process cluster and ingests
+// the bench corpus through the coordinator, which routes every series to
+// its ShardFor home under the same global IDs 0..series-1 the single-node
+// corpus assigns.
+func buildClusterShards(stderr io.Writer, p scanParams, shardWorkers int) (*cluster.Coordinator, error) {
+	shards := make([]cluster.Shard, p.shards)
+	for i := range shards {
+		c := corpus.New(corpus.Config{Length: p.length, ReportedSigma: 0.25})
+		srv := server.New(c, clusterServerOptions(shardWorkers))
+		shards[i] = cluster.NewLocal(fmt.Sprintf("shard-%d", i), srv)
+	}
+	co := cluster.New(shards, cluster.Options{})
+	ctx := context.Background()
+	const chunk = 4096
+	for start := 0; start < p.series; start += chunk {
+		count := p.series - start
+		if count > chunk {
+			count = chunk
+		}
+		batch := genScanBatch(start, count, p.length, p.samples, p.seed)
+		req := server.SeriesRequest{Insert: make([]server.SeriesJSON, len(batch))}
+		for i, s := range batch {
+			req.Insert[i] = server.SeriesJSON{Values: s.Values, Samples: s.Samples, Label: s.Label}
+		}
+		if _, err := co.Mutate(ctx, req); err != nil {
+			return nil, err
+		}
+		if (start/chunk)%8 == 7 {
+			fmt.Fprintf(stderr, "cluster bench: %d/%d series ingested\n", start+count, p.series)
+		}
+	}
+	return co, nil
+}
+
+// clusterCompleted reads the cluster-wide cumulative full-refinement
+// counter of one measure (the coordinator merges the shards' stats).
+func clusterCompleted(ctx context.Context, co *cluster.Coordinator, m engine.Measure) (int64, error) {
+	st, err := co.Stats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return st.Measures[m.String()].Completed, nil
+}
+
+// runClusterBench is the -bench -shards path.
+func runClusterBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
+	workers := p.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardWorkers := (workers + p.shards - 1) / p.shards
+	report := ClusterBenchReport{
+		Series: p.series, Length: p.length, Queries: p.queries,
+		Samples: p.samples, Workers: workers, Shards: p.shards,
+		K: clusterBenchK, Seed: p.seed,
+	}
+
+	start := time.Now()
+	c, err := buildScanCorpus(stderr, p)
+	if err != nil {
+		return err
+	}
+	single := server.New(c, clusterServerOptions(workers))
+	co, err := buildClusterShards(stderr, p, shardWorkers)
+	if err != nil {
+		return err
+	}
+	coNoProp := cluster.New(co.Shards(), cluster.Options{DisableBoundPropagation: true})
+	report.BuildNs = time.Since(start).Nanoseconds()
+	fmt.Fprintf(stderr, "cluster bench: %d x %d built twice (single + %d shards) in %v\n",
+		p.series, p.length, p.shards, time.Since(start).Round(time.Millisecond))
+
+	qis := make([]int, p.queries)
+	for i := range qis {
+		qis[i] = i * (p.series / p.queries)
+	}
+	ctx := context.Background()
+	reqFor := func(qi, reqWorkers int) server.QueryRequest {
+		id := qi
+		return server.QueryRequest{Type: "topk", K: clusterBenchK, ID: &id, Workers: reqWorkers}
+	}
+
+	for _, m := range p.measures {
+		if m.Probabilistic() {
+			fmt.Fprintf(stderr, "cluster bench: skipping %s (the cluster bench times the top-k bound-propagation path)\n", m)
+			continue
+		}
+		singlePass := func() error {
+			for _, qi := range qis {
+				req := reqFor(qi, workers)
+				req.Measure = m.String()
+				if _, err := single.Query(req); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		clusterPass := func(co *cluster.Coordinator) func() error {
+			return func() error {
+				for _, qi := range qis {
+					req := reqFor(qi, shardWorkers)
+					req.Measure = m.String()
+					resp, err := co.Query(ctx, req)
+					if err != nil {
+						return err
+					}
+					if resp.Degraded {
+						return fmt.Errorf("cluster bench: %s query degraded in-process: %+v", m, resp.ShardErrors)
+					}
+				}
+				return nil
+			}
+		}
+
+		// Parity first: the merged scatter-gather answer must be
+		// bit-identical to the single node's (epochs aside — the cluster
+		// epoch sums over shards by construction).
+		for _, qi := range qis {
+			req := reqFor(qi, workers)
+			req.Measure = m.String()
+			want, err := single.Query(req)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m, err)
+			}
+			creq := reqFor(qi, shardWorkers)
+			creq.Measure = m.String()
+			got, err := co.Query(ctx, creq)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m, err)
+			}
+			want.Epoch, got.Epoch = 0, 0
+			if !reflect.DeepEqual(*want, got.QueryResponse) {
+				return fmt.Errorf("cluster bench: %s query %d diverges from the single node", m, qi)
+			}
+		}
+
+		// Exact refinement accounting needs one dedicated pass per arm
+		// (the adaptive timer runs a variable number of rounds).
+		singleBase := single.Stats().Measures[m.String()].Completed
+		if err := singlePass(); err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		singleCompleted := single.Stats().Measures[m.String()].Completed - singleBase
+
+		base, err := clusterCompleted(ctx, co, m)
+		if err != nil {
+			return err
+		}
+		if err := clusterPass(co)(); err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		afterProp, err := clusterCompleted(ctx, co, m)
+		if err != nil {
+			return err
+		}
+		if err := clusterPass(coNoProp)(); err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		afterNoProp, err := clusterCompleted(ctx, co, m)
+		if err != nil {
+			return err
+		}
+		withProp, withoutProp := afterProp-base, afterNoProp-afterProp
+		if withProp >= withoutProp {
+			return fmt.Errorf("cluster bench: %s completed %d full refines with bound propagation, %d without — propagation must prune strictly more on the bench workload",
+				m, withProp, withoutProp)
+		}
+
+		singleNs, err := timeAdaptive(3, 2*time.Second, singlePass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		propNs, err := timeAdaptive(3, 2*time.Second, clusterPass(co))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		noPropNs, err := timeAdaptive(3, 2*time.Second, clusterPass(coNoProp))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+
+		r := ClusterMeasureResult{
+			Measure:              m.String(),
+			SingleNsPerOp:        singleNs.Nanoseconds() / int64(len(qis)),
+			ClusterNsPerOp:       propNs.Nanoseconds() / int64(len(qis)),
+			NoPropNsPerOp:        noPropNs.Nanoseconds() / int64(len(qis)),
+			CompletedSingle:      singleCompleted,
+			CompletedWithProp:    withProp,
+			CompletedWithoutProp: withoutProp,
+		}
+		r.MergeOverhead = float64(r.ClusterNsPerOp) / float64(r.SingleNsPerOp)
+		r.PropagationSavedFraction = float64(withoutProp-withProp) / float64(withoutProp)
+		report.Measures = append(report.Measures, r)
+		fmt.Fprintf(stderr, "cluster bench: %-10s single %12d ns/op, cluster %12d ns/op (%.2fx), refines %d -> %d (%.1f%% saved by propagation)\n",
+			m, r.SingleNsPerOp, r.ClusterNsPerOp, r.MergeOverhead, withoutProp, withProp, 100*r.PropagationSavedFraction)
+	}
+	if len(report.Measures) == 0 {
+		return fmt.Errorf("cluster bench: no non-probabilistic measure selected")
+	}
+
+	if asJSON {
+		return writeJSON(stdout, report)
+	}
+	fmt.Fprintf(stdout, "cluster bench %d series x %d length, %d queries, k=%d, %d shards, %d workers\n",
+		p.series, p.length, p.queries, clusterBenchK, p.shards, workers)
+	fmt.Fprintf(stdout, "%-10s %14s %14s %14s %8s %12s %12s %12s %8s\n",
+		"measure", "single-ns/op", "cluster-ns/op", "noprop-ns/op", "merge-x", "refines-1node", "refines-prop", "refines-off", "saved%")
+	for _, r := range report.Measures {
+		fmt.Fprintf(stdout, "%-10s %14d %14d %14d %8.2f %12d %12d %12d %7.1f%%\n",
+			r.Measure, r.SingleNsPerOp, r.ClusterNsPerOp, r.NoPropNsPerOp, r.MergeOverhead,
+			r.CompletedSingle, r.CompletedWithProp, r.CompletedWithoutProp, 100*r.PropagationSavedFraction)
+	}
+	return nil
+}

@@ -36,6 +36,16 @@
 //
 //	uncertbench -bench -scale large -json > BENCH_PR6.json
 //	uncertbench -bench -series 10000 -length 256 -measures euclidean,dtw -scan-max-ns 2000000000
+//
+// Adding -shards N (N >= 2) to the production-scale bench switches to the
+// cluster bench: the same corpus is served by a single node and by an
+// N-shard in-process scatter-gather cluster, and each top-k measure is
+// timed through both, plus through the cluster with mid-flight bound
+// propagation disabled — recording the merge overhead and the full
+// refinements the shared pruning cut saves (the run fails unless
+// propagation strictly reduces them):
+//
+//	uncertbench -bench -series 100000 -length 128 -samples 0 -shards 4 -measures euclidean,uma,uema,dtw -json > BENCH_PR9.json
 package main
 
 import (
@@ -79,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		replayMax = fs.Float64("replay-max", 0, "fail if WAL replay ns/series exceeds replay-max times ingest ns/series (0 = no check; requires -bench)")
 
 		seriesN    = fs.Int("series", 0, "production-scale scan bench: corpus size (requires -bench; 0 = follow -scale)")
+		shardsN    = fs.Int("shards", 0, "cluster bench: serve the scan-bench corpus from this many in-process shards and record merge overhead and bound-propagation gains against a single node (requires -bench and the scan shape; >= 2)")
 		lengthN    = fs.Int("length", 0, "production-scale scan bench: series length (requires -bench; 0 = 128 when -series or -scale large selects the scan bench)")
 		queriesN   = fs.Int("queries", 8, "scan bench: number of query series")
 		samplesN   = fs.Int("samples", 3, "scan bench: repeated observations per timestamp (the MUNICH input; 0 disables MUNICH)")
@@ -116,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if !*bench {
 		for name, set := range map[string]bool{
-			"-series": *seriesN != 0, "-length": *lengthN != 0,
+			"-series": *seriesN != 0, "-length": *lengthN != 0, "-shards": *shardsN != 0,
 			"-scan-max-ns": *scanMaxNs != 0, "-indexed-max-ns": *idxMaxNs != 0,
 			"-cpuprofile": *cpuprofile != "", "-memprofile": *memprofile != "",
 		} {
@@ -137,6 +148,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *idxMaxNs < 0 {
 		return fmt.Errorf("-indexed-max-ns = %d must be non-negative", *idxMaxNs)
 	}
+	if *shardsN != 0 && *shardsN < 2 {
+		return fmt.Errorf("-shards = %d: a cluster needs at least 2 shards (omit the flag for the single-node bench)", *shardsN)
+	}
 
 	if *bench {
 		if *benchTau <= 0 || *benchTau >= 1 {
@@ -152,8 +166,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			p := scanParams{
 				series: *seriesN, length: *lengthN, queries: *queriesN,
-				samples: *samplesN, workers: *workersN, seed: *seed,
-				tau: *benchTau, maxNs: *scanMaxNs, indexedMaxNs: *idxMaxNs,
+				samples: *samplesN, workers: *workersN, shards: *shardsN,
+				seed: *seed, tau: *benchTau, maxNs: *scanMaxNs, indexedMaxNs: *idxMaxNs,
 			}
 			if p.series == 0 {
 				p.series = 100_000
@@ -169,9 +183,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			p.measures = ms
+			if p.shards >= 2 {
+				if p.maxNs != 0 || p.indexedMaxNs != 0 {
+					return fmt.Errorf("-scan-max-ns/-indexed-max-ns gate the scan bench, not the cluster bench")
+				}
+				return withProfiles(*cpuprofile, *memprofile, func() error {
+					return runClusterBench(stdout, stderr, p, *jsonOut)
+				})
+			}
 			return withProfiles(*cpuprofile, *memprofile, func() error {
 				return runScanBench(stdout, stderr, p, *jsonOut)
 			})
+		}
+		if *shardsN != 0 {
+			return fmt.Errorf("-shards needs the production-scale shape (-series/-length or -scale large)")
 		}
 		sc, err := experiments.ParseScale(*scale)
 		if err != nil {

@@ -81,6 +81,7 @@ type ScanBenchReport struct {
 // scanParams carries the resolved scan-bench configuration.
 type scanParams struct {
 	series, length, queries, samples, workers int
+	shards                                    int // >= 2 selects the cluster bench
 	seed                                      int64
 	tau                                       float64
 	measures                                  []engine.Measure

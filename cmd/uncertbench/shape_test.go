@@ -68,6 +68,16 @@ func TestReportWireShapes(t *testing.T) {
 			"length", "measures", "queries", "samples", "seed", "series",
 			"tau", "workers",
 		}},
+		"ClusterMeasureResult": {ClusterMeasureResult{}, []string{
+			"cluster_ns_per_op", "completed_single",
+			"completed_with_propagation", "completed_without_propagation",
+			"measure", "merge_overhead", "no_prop_ns_per_op",
+			"propagation_saved_fraction", "single_ns_per_op",
+		}},
+		"ClusterBenchReport": {ClusterBenchReport{}, []string{
+			"build_ns", "k", "length", "measures", "queries", "samples",
+			"seed", "series", "shards", "workers",
+		}},
 	}
 	for name, tc := range want {
 		if got := jsonKeys(t, tc.value); !reflect.DeepEqual(got, tc.keys) {
@@ -136,6 +146,19 @@ func TestBaselineArtifactsMatchShape(t *testing.T) {
 			matched = append(matched, "ScanBenchReport")
 			if len(scan.Measures) == 0 || len(scan.Layout) == 0 {
 				t.Errorf("%s: implausible scan report", name)
+			}
+		}
+		var clus ClusterBenchReport
+		if strictDecode(data, &clus) == nil {
+			matched = append(matched, "ClusterBenchReport")
+			if len(clus.Measures) == 0 || clus.Shards < 2 {
+				t.Errorf("%s: implausible cluster report", name)
+			}
+			for _, r := range clus.Measures {
+				if r.CompletedWithProp >= r.CompletedWithoutProp {
+					t.Errorf("%s: %s records no propagation gain (%d with vs %d without)",
+						name, r.Measure, r.CompletedWithProp, r.CompletedWithoutProp)
+				}
 			}
 		}
 

@@ -37,19 +37,33 @@
 //
 //	uncertquery -data /var/lib/uncertserve -mode topk -technique uema -topk 5 -query 3
 //	uncertquery -data /var/lib/uncertserve -mode probrange -technique proud -eps 4 -tau 0.1 -query 3
+//
+// With -server the query goes to a running uncertserve — a single node or
+// a cluster coordinator, the request shape is identical — over HTTP, and
+// -query addresses a stable corpus ID there. A degraded cluster answer
+// (shards down or slow) is reported next to the partial result:
+//
+//	uncertquery -server http://localhost:8080 -mode topk -technique uema -topk 5 -query 3
+//	uncertquery -server http://localhost:8090 -mode probrange -technique proud -eps 4 -tau 0.1 -query 3
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"uncertts/internal/cluster"
 	"uncertts/internal/core"
 	"uncertts/internal/corpus"
 	"uncertts/internal/engine"
+	"uncertts/internal/server"
 	"uncertts/internal/store"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
@@ -61,6 +75,7 @@ type config struct {
 	dataset   string
 	csvPath   string
 	dataDir   string
+	serverURL string
 	series    int
 	length    int
 	seed      int64
@@ -114,6 +129,17 @@ func validate(cfg config) error {
 	}
 	if cfg.topk < 1 {
 		return fmt.Errorf("-topk = %d must be at least 1", cfg.topk)
+	}
+	if cfg.serverURL != "" {
+		if cfg.csvPath != "" || cfg.dataDir != "" {
+			return fmt.Errorf("-server is mutually exclusive with -csv and -data")
+		}
+		if mode == "match" {
+			return fmt.Errorf("mode match needs a local generated workload with ground truth (use -mode topk or -mode probrange with -server)")
+		}
+		if mode == "probrange" && (cfg.eps == 0 || cfg.tau == 0) {
+			return fmt.Errorf("probrange against -server needs explicit -eps and -tau (calibration needs a generated workload)")
+		}
 	}
 	if cfg.dataDir != "" {
 		if cfg.csvPath != "" {
@@ -175,6 +201,7 @@ func main() {
 	flag.StringVar(&cfg.dataset, "dataset", "CBF", "synthetic dataset to generate (ignored with -csv)")
 	flag.StringVar(&cfg.csvPath, "csv", "", "load the dataset from this CSV file instead of generating")
 	flag.StringVar(&cfg.dataDir, "data", "", "query a persisted corpus directory (read-only recovery; -query addresses a stable corpus ID)")
+	flag.StringVar(&cfg.serverURL, "server", "", "query a running uncertserve or cluster coordinator at this base URL (-query addresses a stable corpus ID)")
 	flag.IntVar(&cfg.series, "series", 40, "number of series when generating")
 	flag.IntVar(&cfg.length, "length", 96, "series length when generating")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generation and perturbation")
@@ -197,6 +224,10 @@ func main() {
 	cfg.mode = strings.ToLower(cfg.mode)
 	cfg.technique = strings.ToLower(cfg.technique)
 
+	if cfg.serverURL != "" {
+		runFromServer(cfg)
+		return
+	}
 	if cfg.dataDir != "" {
 		runFromStore(cfg)
 		return
@@ -335,6 +366,63 @@ func runFromStore(cfg config) {
 	fmt.Printf("scan       : %d candidates, %d full computations, %d abandoned early, %d pruned by envelope (%.1f%% of the scan skipped)\n",
 		stats.Candidates, stats.Completed, stats.AbandonedEarly, stats.PrunedByEnvelope,
 		100*float64(stats.Candidates-stats.Completed)/float64(max(1, stats.Candidates)))
+}
+
+// runFromServer sends the query to a running uncertserve (or cluster
+// coordinator — the wire shape is the same) and renders the answer. A
+// degraded cluster response is reported shard by shard next to the
+// partial result.
+func runFromServer(cfg config) {
+	req := server.QueryRequest{
+		Measure: cfg.technique,
+		ID:      &cfg.queryIdx,
+		Workers: cfg.workers,
+	}
+	if cfg.timeout > 0 {
+		req.TimeoutMS = cfg.timeout.Milliseconds()
+	}
+	if cfg.mode == "topk" {
+		req.Type, req.K = "topk", cfg.topk
+	} else {
+		req.Type, req.Eps, req.Tau = "probrange", cfg.eps, cfg.tau
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	httpResp, err := http.Post(cfg.serverURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		fatal(fmt.Errorf("%s/query answered %d: %s", cfg.serverURL, httpResp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+	var resp cluster.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("server     : %s (epoch %d)\n", cfg.serverURL, resp.Epoch)
+	if cfg.mode == "topk" {
+		fmt.Printf("measure    : %s (pruned top-%d)\n", resp.Measure, cfg.topk)
+	} else {
+		fmt.Printf("measure    : %s (pruned probabilistic range, eps=%.4f, tau=%g)\n", resp.Measure, cfg.eps, cfg.tau)
+	}
+	fmt.Printf("query      : series %d\n", cfg.queryIdx)
+	for rank, n := range resp.Neighbors {
+		fmt.Printf("  #%-2d series %-4d distance %.4f\n", rank+1, n.ID, n.Distance)
+	}
+	if resp.IDs != nil {
+		fmt.Printf("matches    : %v\n", resp.IDs)
+	}
+	if resp.Degraded {
+		fmt.Printf("DEGRADED   : partial answer, %d shard(s) missing\n", len(resp.ShardErrors))
+		for _, se := range resp.ShardErrors {
+			fmt.Printf("  shard %-10s %-12s %s\n", se.Shard, se.Kind, se.Error)
+		}
+	}
 }
 
 // runTopK answers the k-NN query through the pruned engine and reports the

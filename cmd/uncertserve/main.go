@@ -35,6 +35,26 @@
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // get a deadline to finish, then the WAL is flushed, a final checkpoint
 // is written, and the store is closed.
+//
+// Scaling out, two ways. -shards N partitions the corpus over N
+// in-process shards behind one scatter-gather coordinator in this binary
+// (with -data, each shard persists under <data>/shard-<i>); the HTTP
+// surface stays /query, /series, /stats, /healthz:
+//
+//	uncertserve -addr :8090 -shards 4 -data /var/lib/uncertcluster
+//
+// Or run one plain uncertserve per shard and a separate coordinator-only
+// process pointed at them — shard processes serve the /cluster endpoints
+// the coordinator scatters over, exchanging the tightening top-k bound
+// mid-query:
+//
+//	uncertserve -addr :8081 -dataset "" -data /var/lib/shard-0 &
+//	uncertserve -addr :8082 -dataset "" -data /var/lib/shard-1 &
+//	uncertserve -addr :8090 -coordinator http://localhost:8081,http://localhost:8082
+//
+// -shard-timeout bounds each shard's leg of a query; a shard that misses
+// it (or is down) degrades the answer — partial results tagged
+// "degraded" with per-shard detail — instead of failing it.
 package main
 
 import (
@@ -47,9 +67,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"uncertts/internal/cluster"
 	"uncertts/internal/corpus"
 	"uncertts/internal/munich"
 	"uncertts/internal/server"
@@ -77,6 +100,10 @@ type config struct {
 	fsyncEvery    time.Duration
 	ckptBytes     int64
 	shutdownGrace time.Duration
+
+	shards       int
+	coordinator  string
+	shardTimeout time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -100,6 +127,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "fsync period of -fsync interval")
 	fs.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 8<<20, "WAL bytes past the last checkpoint that trigger a background checkpoint (negative disables)")
 	fs.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second, "deadline for in-flight requests on SIGINT/SIGTERM")
+	fs.IntVar(&cfg.shards, "shards", 1, "partition the corpus over this many in-process shards behind a scatter-gather coordinator (1 = plain single-node serving)")
+	fs.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard base URLs; serve as a coordinator-only process over those remote shards")
+	fs.DurationVar(&cfg.shardTimeout, "shard-timeout", 0, "per-shard query deadline in cluster modes; a shard missing it degrades the answer (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -126,6 +156,20 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.shutdownGrace <= 0 {
 		return cfg, fmt.Errorf("-shutdown-grace = %v must be positive", cfg.shutdownGrace)
+	}
+	if cfg.shards < 1 {
+		return cfg, fmt.Errorf("-shards = %d must be at least 1", cfg.shards)
+	}
+	if cfg.shardTimeout < 0 {
+		return cfg, fmt.Errorf("-shard-timeout = %v must be non-negative", cfg.shardTimeout)
+	}
+	if cfg.coordinator != "" {
+		if cfg.shards > 1 {
+			return cfg, fmt.Errorf("-coordinator and -shards are mutually exclusive (the remote shards own the data)")
+		}
+		if cfg.dataDir != "" {
+			return cfg, fmt.Errorf("-coordinator does not take -data (the remote shards own the durable state)")
+		}
 	}
 	return cfg, nil
 }
@@ -209,24 +253,148 @@ func buildServer(cfg config) (*server.Server, *store.Store, error) {
 	}), st, nil
 }
 
+// buildCluster assembles the single-binary multi-shard deployment: N
+// in-process shards (each a full corpus + optional store + engine stack,
+// persisting under <data>/shard-<i>) behind one scatter-gather
+// coordinator. The preload dataset is routed through the coordinator so
+// every series lands on its ShardFor home under its global ID — and only
+// into a fully pristine cluster, mirroring the single-node rule.
+func buildCluster(cfg config) (*cluster.Coordinator, []*store.Store, error) {
+	shards := make([]cluster.Shard, cfg.shards)
+	var stores []*store.Store
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	pristine := true
+	for i := range shards {
+		scfg := cfg
+		if cfg.dataDir != "" {
+			scfg.dataDir = filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
+		}
+		c, st, err := openCorpus(scfg)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if st != nil {
+			stores = append(stores, st)
+		}
+		if c.Snapshot().Epoch() != 0 {
+			pristine = false
+		}
+		shards[i] = cluster.NewLocal(fmt.Sprintf("shard-%d", i), server.New(c, server.Options{
+			DefaultWorkers: cfg.defWorkers,
+			MaxWorkers:     cfg.maxWorkers,
+			MUNICH:         munich.Options{Bins: cfg.mcSamples},
+			NoIndex:        cfg.noIndex,
+			Store:          st,
+		}))
+	}
+	co := cluster.New(shards, cluster.Options{ShardTimeout: cfg.shardTimeout})
+	if pristine && cfg.dataset != "" {
+		if err := preloadCluster(co, cfg); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	return co, stores, nil
+}
+
+// preloadCluster seeds a pristine cluster with the same perturbed
+// synthetic dataset the single-node preload uses, ingested through the
+// coordinator in the same order — so the global IDs (and therefore every
+// query answer) match a single node preloaded with the same flags.
+func preloadCluster(co *cluster.Coordinator, cfg config) error {
+	ds, err := ucr.Generate(cfg.dataset, ucr.Options{MaxSeries: cfg.series, Length: cfg.length, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	pert, err := uncertain.NewConstantPerturber(uncertain.Normal, cfg.sigma, cfg.length, cfg.seed)
+	if err != nil {
+		return err
+	}
+	req := server.SeriesRequest{Insert: make([]server.SeriesJSON, len(ds.Series))}
+	for i, s := range ds.Series {
+		ps := pert.PerturbPDF(s)
+		sj := server.SeriesJSON{Values: ps.Observations, Sigma: cfg.sigma, Label: s.Label}
+		if cfg.samples > 0 {
+			ss, err := pert.PerturbSamples(s, cfg.samples)
+			if err != nil {
+				return err
+			}
+			sj.Samples = ss.Samples
+		}
+		req.Insert[i] = sj
+	}
+	_, err = co.Mutate(context.Background(), req)
+	return err
+}
+
+// buildHandler assembles the HTTP surface for whichever deployment the
+// flags pick: coordinator-only over remote shards, single-binary
+// multi-shard, or the plain single node. It returns every store that must
+// be checkpointed and closed on shutdown.
+func buildHandler(cfg config) (http.Handler, []*store.Store, error) {
+	switch {
+	case cfg.coordinator != "":
+		var shards []cluster.Shard
+		for i, u := range strings.Split(cfg.coordinator, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			shards = append(shards, cluster.NewHTTP(fmt.Sprintf("shard-%d", i), strings.TrimRight(u, "/"), nil))
+		}
+		if len(shards) == 0 {
+			return nil, nil, fmt.Errorf("-coordinator needs at least one shard URL")
+		}
+		co := cluster.New(shards, cluster.Options{ShardTimeout: cfg.shardTimeout})
+		log.Printf("uncertserve: coordinating %d remote shards", len(shards))
+		return co.Handler(), nil, nil
+	case cfg.shards > 1:
+		co, stores, err := buildCluster(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		resident := 0
+		for _, sh := range co.Shards() {
+			if l, ok := sh.(*cluster.LocalShard); ok {
+				resident += l.Server().Corpus().Snapshot().Len()
+			}
+		}
+		log.Printf("uncertserve: %d series over %d in-process shards", resident, cfg.shards)
+		return co.Handler(), stores, nil
+	default:
+		srv, st, err := buildServer(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		snap := srv.Corpus().Snapshot()
+		if st != nil {
+			log.Printf("uncertserve: durable store %s at epoch %d (fsync %s)", st.Dir(), snap.Epoch(), cfg.fsync)
+			return srv.Handler(), []*store.Store{st}, nil
+		}
+		log.Printf("uncertserve: %d series x %d points resident", snap.Len(), snap.SeriesLen())
+		return srv.Handler(), nil, nil
+	}
+}
+
 func main() {
 	cfg, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(2)
 	}
-	srv, st, err := buildServer(cfg)
+	handler, stores, err := buildHandler(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(1)
 	}
-	snap := srv.Corpus().Snapshot()
-	if st != nil {
-		log.Printf("uncertserve: durable store %s at epoch %d (fsync %s)", st.Dir(), snap.Epoch(), cfg.fsync)
-	}
-	log.Printf("uncertserve: %d series x %d points resident, listening on %s", snap.Len(), snap.SeriesLen(), cfg.addr)
+	log.Printf("uncertserve: listening on %s", cfg.addr)
 
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -245,7 +413,7 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("uncertserve: shutdown: %v", err)
 	}
-	if st != nil {
+	for _, st := range stores {
 		// Flush + final checkpoint so the next start replays nothing.
 		if err := st.Checkpoint(); err != nil && !errors.Is(err, store.ErrClosed) {
 			log.Printf("uncertserve: final checkpoint: %v", err)

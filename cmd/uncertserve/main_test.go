@@ -4,13 +4,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
 	"uncertts/internal/server"
 	"uncertts/internal/store"
 )
+
+// jsonEqual compares two decoded JSON values structurally.
+func jsonEqual(a, b interface{}) bool { return reflect.DeepEqual(a, b) }
 
 func TestParseFlagsValidation(t *testing.T) {
 	for name, args := range map[string][]string{
@@ -26,9 +31,13 @@ func TestParseFlagsValidation(t *testing.T) {
 		}
 	}
 	for name, args := range map[string][]string{
-		"bad fsync":          {"-fsync", "sometimes"},
-		"bad fsync interval": {"-fsync-interval", "0s"},
-		"bad grace":          {"-shutdown-grace", "-1s"},
+		"bad fsync":            {"-fsync", "sometimes"},
+		"bad fsync interval":   {"-fsync-interval", "0s"},
+		"bad grace":            {"-shutdown-grace", "-1s"},
+		"bad shards":           {"-shards", "0"},
+		"bad shard timeout":    {"-shard-timeout", "-1s"},
+		"coordinator + shards": {"-coordinator", "http://localhost:1", "-shards", "2"},
+		"coordinator + data":   {"-coordinator", "http://localhost:1", "-data", "/tmp/x"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Errorf("%s (%v): expected an error", name, args)
@@ -85,6 +94,87 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if empty.Corpus().Len() != 0 {
 		t.Error("empty server should start with no series")
+	}
+}
+
+// TestShardedServerMatchesSingleNode builds the same preloaded workload
+// twice — once as a plain single node, once as a durable 3-shard cluster
+// in one binary — and checks that every query family answers
+// bit-identically through both handlers (the cluster epoch differs by
+// construction). It then rebuilds the cluster from the shard store
+// directories and checks the answers survive the restart.
+func TestShardedServerMatchesSingleNode(t *testing.T) {
+	base := []string{"-series", "12", "-length", "24", "-sigma", "0.5", "-samples", "3", "-munich-bins", "256"}
+	cfg, err := parseFlags(base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	clusterArgs := append(append([]string{}, base...), "-shards", "3", "-data", dir)
+	ccfg, err := parseFlags(clusterArgs, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, stores, err := buildHandler(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`{"measure":"euclidean","type":"topk","k":4,"id":0}`,
+		`{"measure":"uema","type":"range","eps":4,"id":1}`,
+		`{"measure":"dust","type":"topk","k":3,"id":2}`,
+		`{"measure":"proud","type":"probrange","eps":3,"tau":0.1,"id":2}`,
+		`{"measure":"munich","type":"probtopk","eps":3,"k":3,"id":3}`,
+	}
+	query := func(t *testing.T, h http.Handler, body string) map[string]interface{} {
+		t.Helper()
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("query %s: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		var resp map[string]interface{}
+		if err := json.NewDecoder(bytes.NewReader(rec.Body.Bytes())).Decode(&resp); err != nil {
+			t.Fatalf("query %s: bad JSON: %v", body, err)
+		}
+		delete(resp, "epoch")
+		return resp
+	}
+	for _, body := range queries {
+		want := query(t, single.Handler(), body)
+		got := query(t, sharded, body)
+		if !jsonEqual(want, got) {
+			t.Errorf("query %s: cluster answer diverges\n want %v\n  got %v", body, want, got)
+		}
+	}
+
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered, stores2, err := buildHandler(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, st := range stores2 {
+			st.Close()
+		}
+	}()
+	for _, body := range queries {
+		want := query(t, single.Handler(), body)
+		got := query(t, recovered, body)
+		if !jsonEqual(want, got) {
+			t.Errorf("query %s after restart: cluster answer diverges\n want %v\n  got %v", body, want, got)
+		}
 	}
 }
 

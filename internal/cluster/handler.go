@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"uncertts/internal/qerr"
+	"uncertts/internal/server"
+)
+
+// The coordinator's HTTP surface mirrors the single-node server's —
+// /query, /series, /stats, /healthz with the same request shapes — so
+// clients scale from one node to a cluster by repointing their base URL.
+// /query answers a cluster Response (the single-node QueryResponse plus
+// the degraded flag and per-shard error detail).
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/series", c.handleSeries)
+	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+// statusFor maps a coordinator error to its HTTP status: all-shards-down
+// is 502 Bad Gateway, an all-shards-slow query is 504 Gateway Timeout, a
+// shard's own refusal passes its status through verbatim, and everything
+// else follows the single-node mapping.
+func statusFor(err error) int {
+	var se *ShardStatusError
+	switch {
+	case errors.As(err, &se):
+		return se.Status
+	case errors.Is(err, qerr.ErrShardUnreachable):
+		return http.StatusBadGateway
+	case errors.Is(err, qerr.ErrShardTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return server.StatusFor(err)
+	}
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req server.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		http.Error(w, "timeout_ms must be non-negative", http.StatusBadRequest)
+		return
+	}
+	// timeout_ms bounds the whole scatter-gather here; shards run without
+	// their own deadline (Query strips it) under this context.
+	ctx, cancel := r.Context(), context.CancelFunc(func() {})
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+	resp, err := c.Query(ctx, req)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req server.SeriesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := c.Mutate(r.Context(), req)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp, err := c.Stats(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, c.Health(r.Context()))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

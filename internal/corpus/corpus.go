@@ -149,10 +149,14 @@ type Mutation struct {
 	// Insert holds the ingestion records in input order, exactly as
 	// submitted (Errors nil when the series adopted the corpus defaults).
 	Insert []Series
+	// IDs, when non-empty, holds the caller-assigned stable ID of each
+	// inserted series (an ApplyAt mutation); empty means the contiguous
+	// assignment FirstID, FirstID+1, ...
+	IDs []int
 	// Delete holds the removed stable IDs.
 	Delete []int
-	// FirstID is the stable ID assigned to Insert[0] (unused when Insert
-	// is empty, but still the corpus' next ID at mutation time).
+	// FirstID is the corpus' next unassigned ID at mutation time; for a
+	// contiguous mutation it is the stable ID assigned to Insert[0].
 	FirstID int
 	// Epoch is the epoch of the snapshot this mutation publishes.
 	Epoch uint64
@@ -304,7 +308,24 @@ func (c *Corpus) Apply(insert []Series, deleteIDs []int) ([]int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.applyLocked(insert, deleteIDs, true)
+	return c.applyLocked(insert, nil, deleteIDs, true)
+}
+
+// ApplyAt is Apply with caller-assigned stable IDs for the inserted
+// series: insertIDs[i] becomes the ID of insert[i]. The IDs must be
+// strictly increasing and start at or above the corpus' next unassigned
+// ID, so an ID is never reused; afterwards the corpus' next ID is one
+// past the largest assigned. Cluster shards use it to ingest series
+// under coordinator-assigned global IDs — position order stays ID order,
+// and a shard answers queries bit-identically to the same series
+// resident in a single corpus.
+func (c *Corpus) ApplyAt(insert []Series, insertIDs []int, deleteIDs []int) ([]int, error) {
+	if len(insert) == 0 && len(deleteIDs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applyLocked(insert, insertIDs, deleteIDs, true)
 }
 
 // Replay re-applies a logged mutation with its recorded outcome, bypassing
@@ -324,15 +345,30 @@ func (c *Corpus) Replay(m Mutation) error {
 	if len(m.Insert) > 0 && m.FirstID != c.nextID {
 		return fmt.Errorf("corpus: replay would assign IDs from %d but the log recorded %d", c.nextID, m.FirstID)
 	}
-	_, err := c.applyLocked(m.Insert, m.Delete, false)
+	_, err := c.applyLocked(m.Insert, m.IDs, m.Delete, false)
 	return err
 }
 
 // applyLocked is the mutation core; callers hold c.mu. When logged is true
-// the hook (if any) observes the mutation before it publishes.
-func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]int, error) {
+// the hook (if any) observes the mutation before it publishes. A non-empty
+// insertIDs pins the stable ID of each inserted series (ApplyAt); nil keeps
+// the contiguous assignment from c.nextID.
+func (c *Corpus) applyLocked(insert []Series, insertIDs []int, deleteIDs []int, logged bool) ([]int, error) {
 	old := c.cur.Load()
 	cfg := old.cfg
+
+	if len(insertIDs) > 0 {
+		if len(insertIDs) != len(insert) {
+			return nil, fmt.Errorf("corpus: %d explicit IDs for %d inserted series", len(insertIDs), len(insert))
+		}
+		prev := c.nextID - 1
+		for _, id := range insertIDs {
+			if id <= prev {
+				return nil, fmt.Errorf("corpus: explicit IDs must be strictly increasing and at least the next unassigned ID %d (got %d after %d)", c.nextID, id, prev)
+			}
+			prev = id
+		}
+	}
 
 	drop := make(map[int]bool, len(deleteIDs))
 	for _, id := range deleteIDs {
@@ -388,7 +424,11 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 	var ids []int
 	var insMembers []sketch.Member
 	for i, s := range insert {
-		e, err := buildEntry(c.nextID+i, s, cfg, c.ar)
+		id := c.nextID + i
+		if len(insertIDs) > 0 {
+			id = insertIDs[i]
+		}
+		e, err := buildEntry(id, s, cfg, c.ar)
 		if err != nil {
 			return nil, err
 		}
@@ -397,13 +437,17 @@ func (c *Corpus) applyLocked(insert []Series, deleteIDs []int, logged bool) ([]i
 		entries = append(entries, e)
 	}
 	if logged && c.hook != nil {
-		m := Mutation{Insert: insert, Delete: deleteIDs, FirstID: c.nextID, Epoch: old.epoch + 1}
+		m := Mutation{Insert: insert, IDs: insertIDs, Delete: deleteIDs, FirstID: c.nextID, Epoch: old.epoch + 1}
 		if err := c.hook(m); err != nil {
 			return nil, fmt.Errorf("corpus: persistence hook rejected the mutation: %w", err)
 		}
 	}
 	committed = true
-	c.nextID += len(insert)
+	if len(insertIDs) > 0 {
+		c.nextID = insertIDs[len(insertIDs)-1] + 1
+	} else {
+		c.nextID += len(insert)
+	}
 	// Deletes leave dead rows behind; once more than a quarter of the arena
 	// is dead, rebuild it densely (published snapshots keep reading the old
 	// storage — compaction allocates fresh arrays and fresh Entry objects).

@@ -1,0 +1,89 @@
+package engine
+
+import "math"
+
+// Bound is an externally shared, monotonically tightening upper bound on
+// the k-th best distance of one top-k query — the cluster-facing handle
+// over the same atomic cut the workers of a single engine coordinate
+// through. Injecting one Bound into the Requests of several engines (one
+// per cluster shard, each scanning its own corpus partition) makes every
+// shard's early-abandon cascade cut against the global k-th distance as
+// it tightens mid-flight, not just its local one.
+//
+// Soundness: each published value is a proven upper bound on the global
+// k-th best distance (the k-th best of any subset is an upper bound on
+// the k-th best of the whole), values only ever decrease, and every
+// published square is inflated by ulpUp — so a candidate is abandoned
+// only when it is strictly beyond the global k-th, never when it ties
+// it. Results therefore stay bit-identical to a single-corpus scan.
+//
+// The zero value is not ready; use NewBound. All methods are safe for
+// concurrent use.
+type Bound struct{ sb sharedBound }
+
+// NewBound returns a bound at +Inf (nothing proven yet).
+func NewBound() *Bound {
+	b := &Bound{}
+	b.sb.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Squared returns the current bound in squared-distance space (+Inf
+// until first lowered). This is the wire value cluster nodes exchange.
+func (b *Bound) Squared() float64 { return b.sb.get() }
+
+// LowerSquared publishes a squared-space bound if it improves
+// (decreases) the current one — the ingest side of the wire exchange.
+// The value must already carry its ulpUp safety margin, i.e. come from
+// Squared() of another Bound (or ObserveKth).
+func (b *Bound) LowerSquared(v float64) { b.sb.lower(v) }
+
+// ObserveKth lowers the bound from a proven k-th best distance d (linear
+// space): the merge side calls it whenever its global result heap fills
+// or tightens. The published square is ulpUp-inflated so exact ties at d
+// survive on every shard.
+func (b *Bound) ObserveKth(d float64) { b.sb.lower(ulpUp(d * d)) }
+
+// ProbBound is the probabilistic-top-k mirror of Bound: a monotonically
+// rising lower bound on the k-th best match probability. Shards abandon
+// a candidate once its probability upper bound falls below the global
+// k-th best probability; the probBoundMargin inside the kernels keeps
+// exact ties alive, so merged results stay bit-identical.
+//
+// The zero value is not ready; use NewProbBound.
+type ProbBound struct{ sb sharedMaxBound }
+
+// NewProbBound returns a bound at -Inf (nothing proven yet).
+func NewProbBound() *ProbBound {
+	b := &ProbBound{}
+	b.sb.bits.Store(math.Float64bits(math.Inf(-1)))
+	return b
+}
+
+// Value returns the current lower bound on the k-th best probability
+// (-Inf until first raised) — the wire value cluster nodes exchange.
+func (b *ProbBound) Value() float64 { return b.sb.get() }
+
+// Raise publishes v if it improves (increases) the bound. v must be a
+// proven k-th best probability of some subset of the corpus — e.g. the
+// k-th best of a shard's local heap, or of the coordinator's merged
+// heap.
+func (b *ProbBound) Raise(v float64) { b.sb.raise(v) }
+
+// boundRef resolves the shared cut a top-k execution coordinates
+// through: the externally injected Bound when the request carries one,
+// a fresh private cut otherwise.
+func (pq *PreparedQuery) boundRef() *sharedBound {
+	if pq.Bound != nil {
+		return &pq.Bound.sb
+	}
+	return newSharedBound()
+}
+
+// probBoundRef is boundRef for probabilistic top-k.
+func (pq *PreparedQuery) probBoundRef() *sharedMaxBound {
+	if pq.ProbBound != nil {
+		return &pq.ProbBound.sb
+	}
+	return newSharedMaxBound()
+}

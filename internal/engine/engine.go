@@ -218,34 +218,34 @@ type Options struct {
 // always holds; Candidates - Completed is the work pruning saved.
 type Stats struct {
 	// Candidates is the number of query-candidate pairs examined.
-	Candidates int64
+	Candidates int64 `json:"candidates"`
 	// Completed is the number of full distance computations (or, for the
 	// probabilistic measures, full probability refines) that ran to
 	// completion — the figure pruning exists to minimise.
-	Completed int64
+	Completed int64 `json:"completed"`
 	// AbandonedEarly counts scans abandoned mid-accumulation.
-	AbandonedEarly int64
+	AbandonedEarly int64 `json:"abandoned_early"`
 	// PrunedByEnvelope counts candidates excluded by an envelope lower
 	// bound alone: LB_Keogh for DTW, the segment-envelope filter for
 	// MUNICH. Neither touches the underlying kernel.
-	PrunedByEnvelope int64
+	PrunedByEnvelope int64 `json:"pruned_by_envelope"`
 	// ResolvedByBounds counts MUNICH candidates whose probabilistic
 	// predicate was decided by the bounding-interval or sample-pair bounds
 	// without the full combination-counting refine.
-	ResolvedByBounds int64
+	ResolvedByBounds int64 `json:"resolved_by_bounds"`
 	// ResolvedEarly counts PROUD candidates whose predicate was decided by
 	// the sound prefix bounds after only a prefix of timestamps.
-	ResolvedEarly int64
+	ResolvedEarly int64 `json:"resolved_early"`
 	// BucketsVisited and BucketsPruned count sketch-index bucket decisions:
 	// a pruned bucket's members were never candidates at all. Zero on
 	// engines running the linear scan.
-	BucketsVisited int64
-	BucketsPruned  int64
+	BucketsVisited int64 `json:"buckets_visited"`
+	BucketsPruned  int64 `json:"buckets_pruned"`
 	// SeriesSkippedByIndex counts candidates never examined because their
 	// whole bucket was excluded by its index bound (excluding the query
 	// series itself). For index queries, Candidates + SeriesSkippedByIndex
 	// = queries * (N - 1).
-	SeriesSkippedByIndex int64
+	SeriesSkippedByIndex int64 `json:"series_skipped_by_index"`
 }
 
 // Merge returns the field-wise sum of two stats — the aggregation the
@@ -778,7 +778,7 @@ func (e *Engine) topKPrepared(ctx context.Context, pqs []*PreparedQuery, k int) 
 
 	bounds := make([]*sharedBound, len(pqs))
 	for i := range bounds {
-		bounds[i] = newSharedBound()
+		bounds[i] = pqs[i].boundRef()
 	}
 	// One retained-candidate bucket per (query, shard) pair; written by
 	// exactly one worker each, merged after the barrier.

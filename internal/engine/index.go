@@ -551,7 +551,7 @@ func (e *Engine) topKIndexed(ctx context.Context, pqs []*PreparedQuery, k int) (
 	bounds := make([]*sharedBound, len(pqs))
 	heaps := make([]*globalKHeap, len(pqs))
 	for q := range pqs {
-		bounds[q] = newSharedBound()
+		bounds[q] = pqs[q].boundRef()
 		heaps[q] = &globalKHeap{h: newKHeap(k)}
 	}
 	buckets := make([][]query.Neighbor, len(pqs)*nb)
@@ -904,7 +904,7 @@ func (e *Engine) probTopKIndexed(ctx context.Context, pqs []*PreparedQuery, eps 
 	bounds := make([]*sharedMaxBound, len(pqs))
 	heaps := make([]*globalProbHeap, len(pqs))
 	for q := range pqs {
-		bounds[q] = newSharedMaxBound()
+		bounds[q] = pqs[q].probBoundRef()
 		heaps[q] = &globalProbHeap{h: newProbHeap(k)}
 	}
 	buckets := make([][]ProbMatch, len(pqs)*nb)

@@ -335,7 +335,7 @@ func (e *Engine) probTopKPrepared(ctx context.Context, pqs []*PreparedQuery, eps
 
 	bounds := make([]*sharedMaxBound, len(pqs))
 	for i := range bounds {
-		bounds[i] = newSharedMaxBound()
+		bounds[i] = pqs[i].probBoundRef()
 	}
 	buckets := make([][]ProbMatch, len(pqs)*numShards)
 

@@ -51,6 +51,14 @@ type PreparedQuery struct {
 	// requests issued through this query (0 = the engine default). The
 	// server sets it per HTTP request.
 	Workers int
+	// Bound optionally shares a top-k pruning cut with executions outside
+	// this engine — cluster shards running the same query inject one
+	// Bound into every shard's request so the global k-th distance
+	// tightens each shard's cascade mid-flight. Nil (the default) keeps
+	// the cut private to the execution. Only KindTopK consults it.
+	Bound *Bound
+	// ProbBound is Bound for KindProbTopK (rising k-th best probability).
+	ProbBound *ProbBound
 
 	e    *Engine
 	self int // snapshot position to exclude (-1 for ad-hoc queries)
@@ -148,6 +156,18 @@ func (e *Engine) Prepare(q Query) (*PreparedQuery, error) {
 		pq.vec = f
 	case MeasureDUST:
 		errs := q.Errors
+		if errs == nil && q.Sigma > 0 {
+			// A constant sigma is a full error model for DUST: Normal(0,
+			// sigma) per timestamp, matching what ingesting the series with
+			// that sigma would have attached. The cluster coordinator leans
+			// on this to forward a resident query series to remote shards
+			// as values+sigma without losing the error model.
+			d := stats.NewNormal(0, q.Sigma)
+			errs = make([]stats.Dist, n)
+			for i := range errs {
+				errs[i] = d
+			}
+		}
 		if errs == nil {
 			errs = e.snap.DefaultErrors()
 		}

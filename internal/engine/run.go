@@ -117,6 +117,15 @@ type Request struct {
 	// Workers bounds the executor parallelism for this request
 	// (0 = the engine default).
 	Workers int
+	// Bound optionally shares the KindTopK pruning cut with executions
+	// outside this engine: cluster shards answering the same query inject
+	// one Bound each, so the global k-th distance tightens every shard's
+	// early-abandon cascade mid-flight. Nil keeps the cut private. Kinds
+	// other than KindTopK ignore it (range kinds prune on the static
+	// Eps/Tau threshold already).
+	Bound *Bound
+	// ProbBound is Bound for KindProbTopK.
+	ProbBound *ProbBound
 	// Offset drops the first Offset entries of the result list — the
 	// pagination window is applied after the (deterministic) final
 	// ordering, so pages are stable across retries on the same snapshot.
@@ -265,6 +274,7 @@ func (e *Engine) RunStream(ctx context.Context, req Request, emit func(Item) err
 		return nil, err
 	}
 	pq.Workers = req.Workers
+	pq.Bound, pq.ProbBound = req.Bound, req.ProbBound
 
 	// Serialize worker-side emissions so emit needs no locking of its own.
 	var emitMu sync.Mutex

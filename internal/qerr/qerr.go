@@ -27,7 +27,28 @@ var (
 	// context's own error, so errors.Is(err, context.Canceled) and
 	// errors.Is(err, context.DeadlineExceeded) keep working.
 	ErrCancelled = errors.New("query cancelled")
+	// ErrShardUnreachable marks a cluster shard that could not be reached
+	// at all — connection refused, reset mid-stream, or a malformed shard
+	// response. The coordinator maps it to 502 Bad Gateway; a degraded
+	// response carries it in the per-shard error detail.
+	ErrShardUnreachable = errors.New("shard unreachable")
+	// ErrShardTimeout marks a cluster shard that was reachable but did not
+	// answer within the coordinator's per-shard deadline. The coordinator
+	// maps it to 504 Gateway Timeout — distinct from ErrShardUnreachable so
+	// operators can tell a dead shard from a slow one.
+	ErrShardTimeout = errors.New("shard timeout")
 )
+
+// ShardUnreachablef builds a shard-connectivity error wrapping
+// ErrShardUnreachable.
+func ShardUnreachablef(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrShardUnreachable, fmt.Sprintf(format, args...))
+}
+
+// ShardTimeoutf builds a shard-deadline error wrapping ErrShardTimeout.
+func ShardTimeoutf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrShardTimeout, fmt.Sprintf(format, args...))
+}
 
 // BadRequestf builds a field-specific validation error wrapping
 // ErrBadRequest.

@@ -85,6 +85,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	engines map[engine.Measure]*measureEngines
+
+	// bounds tracks the shared pruning cuts of running cluster queries,
+	// keyed by the coordinator's bound token (see cluster.go).
+	bounds boundRegistry
 }
 
 // measureEngines tracks one measure's engine across corpus epochs. The
@@ -127,6 +131,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/cluster/query", s.handleClusterQuery)
+	mux.HandleFunc("/cluster/bound", s.handleClusterBound)
+	mux.HandleFunc("/cluster/series", s.handleClusterSeries)
+	mux.HandleFunc("/cluster/info", s.handleClusterInfo)
 	return mux
 }
 
@@ -307,6 +315,11 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	}
 }
+
+// StatusFor is the exported form of statusFor: the cluster coordinator
+// reuses the server's error-to-status mapping for its own handler, so a
+// shard-side 404 or 400 surfaces identically through either tier.
+func StatusFor(err error) int { return statusFor(err) }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -575,7 +588,13 @@ func (s *Server) clampWorkers(requested int) int {
 // corpus epoch, or (e.g. on an unknown delete ID) nothing changes.
 type SeriesRequest struct {
 	Insert []SeriesJSON `json:"insert,omitempty"`
-	Delete []int        `json:"delete,omitempty"`
+	// InsertIDs optionally pins the stable ID of each inserted series
+	// (one per Insert entry, strictly increasing, at or above the corpus'
+	// next unassigned ID). The cluster coordinator uses it to ingest
+	// series under globally allocated IDs; plain clients leave it empty
+	// and receive contiguous IDs.
+	InsertIDs []int `json:"insert_ids,omitempty"`
+	Delete    []int `json:"delete,omitempty"`
 }
 
 // SeriesResponse reports the outcome of a /series mutation.
@@ -621,6 +640,9 @@ func (s *Server) Mutate(req SeriesRequest) (*SeriesResponse, error) {
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
 		return nil, badRequest("nothing to insert or delete")
 	}
+	if len(req.InsertIDs) > 0 && len(req.InsertIDs) != len(req.Insert) {
+		return nil, badRequest("insert_ids has %d entries for %d inserted series", len(req.InsertIDs), len(req.Insert))
+	}
 	batch := make([]corpus.Series, len(req.Insert))
 	for i, sj := range req.Insert {
 		cs, err := sj.toCorpus()
@@ -629,7 +651,7 @@ func (s *Server) Mutate(req SeriesRequest) (*SeriesResponse, error) {
 		}
 		batch[i] = cs
 	}
-	ids, err := s.c.Apply(batch, req.Delete)
+	ids, err := s.c.ApplyAt(batch, req.InsertIDs, req.Delete)
 	if err != nil {
 		return nil, &httpError{status: statusForApplyError(err), msg: err.Error()}
 	}
@@ -663,15 +685,13 @@ type StatsResponse struct {
 	Measures map[string]MeasureStatsJSON `json:"measures,omitempty"`
 }
 
-// MeasureStatsJSON is the cumulative accounting of one measure's engines.
+// MeasureStatsJSON is the cumulative accounting of one measure's engines:
+// the full wire-stable engine.Stats counter set (inlined) plus a rendered
+// summary line. Carrying engine.Stats itself is what lets a cluster
+// coordinator merge shard /stats responses without drift.
 type MeasureStatsJSON struct {
-	Candidates       int64  `json:"candidates"`
-	Completed        int64  `json:"completed"`
-	AbandonedEarly   int64  `json:"abandoned_early"`
-	PrunedByEnvelope int64  `json:"pruned_by_envelope"`
-	ResolvedByBounds int64  `json:"resolved_by_bounds"`
-	ResolvedEarly    int64  `json:"resolved_early"`
-	Summary          string `json:"summary"`
+	engine.Stats
+	Summary string `json:"summary"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -692,15 +712,7 @@ func (s *Server) Stats() *StatsResponse {
 		Measures:  make(map[string]MeasureStatsJSON),
 	}
 	for name, st := range s.measureStats() {
-		resp.Measures[name] = MeasureStatsJSON{
-			Candidates:       st.Candidates,
-			Completed:        st.Completed,
-			AbandonedEarly:   st.AbandonedEarly,
-			PrunedByEnvelope: st.PrunedByEnvelope,
-			ResolvedByBounds: st.ResolvedByBounds,
-			ResolvedEarly:    st.ResolvedEarly,
-			Summary:          st.String(),
-		}
+		resp.Measures[name] = MeasureStatsJSON{Stats: st, Summary: st.String()}
 	}
 	return resp
 }

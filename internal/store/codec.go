@@ -203,6 +203,16 @@ func encodeMutation(m corpus.Mutation) ([]byte, error) {
 	for _, id := range m.Delete {
 		e.i64(int64(id))
 	}
+	// Explicit ID assignments (ApplyAt mutations) ride in an optional
+	// trailing section, so every record without one is byte-identical to
+	// the pre-cluster format: old logs replay unchanged, and new logs
+	// without explicit IDs stay readable by the old decoder.
+	if len(m.IDs) > 0 {
+		e.u32(uint32(len(m.IDs)))
+		for _, id := range m.IDs {
+			e.i64(int64(id))
+		}
+	}
 	return e.b, nil
 }
 
@@ -455,6 +465,15 @@ func decodeMutation(payload []byte) (corpus.Mutation, error) {
 		m.Delete = make([]int, n)
 		for i := range m.Delete {
 			m.Delete[i] = int(d.i64())
+		}
+	}
+	// Optional explicit-ID section (absent in pre-cluster records).
+	if d.err == nil && d.off < len(d.b) {
+		if n, ok := d.sliceLen(8); ok && n > 0 {
+			m.IDs = make([]int, n)
+			for i := range m.IDs {
+				m.IDs[i] = int(d.i64())
+			}
 		}
 	}
 	if d.err != nil {
