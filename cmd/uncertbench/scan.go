@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"reflect"
 	"runtime"
@@ -15,6 +17,7 @@ import (
 	"uncertts/internal/munich"
 	"uncertts/internal/sketch"
 	"uncertts/internal/stats"
+	"uncertts/internal/telemetry"
 )
 
 // The scan bench is the production-scale arm of -bench: instead of the
@@ -61,6 +64,18 @@ type ScanLayoutResult struct {
 	ScatteredOverArena float64 `json:"scattered_over_arena"`
 }
 
+// ObsBenchResult is the telemetry-overhead A/B: the same per-query
+// workload through engine.Run with the full observability envelope live
+// (a minted trace in the context, per-query counter/histogram observes,
+// tracer finish) and with none of it. ObsOverPlain is the ratio the
+// -obs-max gate checks.
+type ObsBenchResult struct {
+	Measure      string  `json:"measure"`
+	PlainNsPerOp int64   `json:"plain_ns_per_op"`
+	ObsNsPerOp   int64   `json:"obs_ns_per_op"`
+	ObsOverPlain float64 `json:"obs_over_plain"`
+}
+
 // ScanBenchReport is the -bench JSON document of the production-scale path.
 type ScanBenchReport struct {
 	Series       int                 `json:"series"`
@@ -76,6 +91,7 @@ type ScanBenchReport struct {
 	CalibrateNs  int64               `json:"calibrate_ns"`
 	Measures     []ScanMeasureResult `json:"measures"`
 	Layout       []ScanLayoutResult  `json:"layout"`
+	Obs          ObsBenchResult      `json:"obs"`
 }
 
 // scanParams carries the resolved scan-bench configuration.
@@ -87,6 +103,7 @@ type scanParams struct {
 	measures                                  []engine.Measure
 	maxNs                                     int64
 	indexedMaxNs                              int64
+	obsMax                                    float64
 }
 
 // genScanBatch produces count deterministic synthetic series starting at
@@ -350,6 +367,22 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 	}
 	report.Layout = layout
 
+	obs, err := runObsBench(stderr, snap, p, qis, eps)
+	if err != nil {
+		return err
+	}
+	report.Obs = obs
+	if p.obsMax > 0 {
+		// Tiny absolute deltas are timer noise, not telemetry cost: the
+		// ratio gate only fires when the envelope also costs a measurable
+		// amount per query.
+		const obsNoiseNs = 20_000
+		if obs.ObsOverPlain > p.obsMax && obs.ObsNsPerOp-obs.PlainNsPerOp > obsNoiseNs {
+			return fmt.Errorf("telemetry regression: %s obs arm %d ns/op is %.3fx the plain arm's %d ns/op, exceeding -obs-max %g",
+				obs.Measure, obs.ObsNsPerOp, obs.ObsOverPlain, obs.PlainNsPerOp, p.obsMax)
+		}
+	}
+
 	if p.maxNs > 0 {
 		for _, r := range report.Measures {
 			if r.NsPerOp > p.maxNs {
@@ -387,7 +420,96 @@ func runScanBench(stdout, stderr io.Writer, p scanParams, asJSON bool) error {
 		fmt.Fprintf(stdout, "layout %-10s arena %d ns/scan, scattered %d ns/scan (%.2fx)\n",
 			l.Kernel, l.ArenaNsPerScan, l.ScatteredNsPerScan, l.ScatteredOverArena)
 	}
+	fmt.Fprintf(stdout, "obs    %-10s plain %d ns/op, instrumented %d ns/op (%.3fx)\n",
+		report.Obs.Measure, report.Obs.PlainNsPerOp, report.Obs.ObsNsPerOp, report.Obs.ObsOverPlain)
 	return nil
+}
+
+// runObsBench times the per-query Run path with the observability
+// envelope fully live against the identical workload with none of it.
+// The obs arm mirrors what the server layer adds around every query — a
+// minted trace travelling in the context (so the engine records its
+// spans), a counter and a latency-histogram observe, and the tracer
+// finish that files the trace into the ring — while the plain arm runs
+// the same queries with a bare context, where every trace call is a nil
+// no-op. The instruments live on a private registry and tracer so bench
+// runs never pollute a serving process's /metrics.
+func runObsBench(stderr io.Writer, snap *corpus.Snapshot, p scanParams, qis []int, eps float64) (ObsBenchResult, error) {
+	m := p.measures[0]
+	for _, c := range p.measures {
+		if c == engine.MeasureEuclidean {
+			m = c
+			break
+		}
+	}
+	e, err := engine.NewFromSnapshot(snap, engine.Options{
+		Measure: m, Workers: p.workers, NoIndex: true,
+		MUNICH: munich.Options{Bins: 1024},
+	})
+	if err != nil {
+		return ObsBenchResult{}, err
+	}
+	req := func(qi int) engine.Request {
+		r := engine.Request{Measure: m, Kind: engine.KindTopK, Index: &qi, K: 10}
+		if m.Probabilistic() {
+			r.Kind, r.K = engine.KindProbRange, 0
+			r.Eps, r.Tau = eps, p.tau
+		}
+		return r
+	}
+	kind := engine.KindTopK.String()
+	if m.Probabilistic() {
+		kind = engine.KindProbRange.String()
+	}
+
+	plain, err := timeAdaptive(3, 2*time.Second, func() error {
+		for _, qi := range qis {
+			if _, err := e.Run(context.Background(), req(qi)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return ObsBenchResult{}, err
+	}
+
+	reg := telemetry.NewRegistry()
+	queries := reg.NewCounterVec("uncertts_bench_obs_queries_total", "Obs-arm query count.", "kind", "measure")
+	latency := reg.NewHistogramVec("uncertts_bench_obs_query_duration_seconds", "Obs-arm query latency.", nil, "kind", "measure")
+	tracer := telemetry.NewTracer(128, 0, slog.New(slog.NewJSONHandler(io.Discard, nil)))
+	obs, err := timeAdaptive(3, 2*time.Second, func() error {
+		for _, qi := range qis {
+			tr := tracer.StartTrace("", "query")
+			tr.SetQuery(kind, m.String())
+			start := time.Now()
+			_, err := e.Run(telemetry.WithTrace(context.Background(), tr), req(qi))
+			latency.With(kind, m.String()).Observe(time.Since(start).Seconds())
+			queries.With(kind, m.String()).Inc()
+			if err != nil {
+				tr.Fail(err)
+				tracer.Finish(tr)
+				return err
+			}
+			tracer.Finish(tr)
+		}
+		return nil
+	})
+	if err != nil {
+		return ObsBenchResult{}, err
+	}
+
+	r := ObsBenchResult{
+		Measure:      m.String(),
+		PlainNsPerOp: plain.Nanoseconds() / int64(len(qis)),
+		ObsNsPerOp:   obs.Nanoseconds() / int64(len(qis)),
+	}
+	if r.PlainNsPerOp > 0 {
+		r.ObsOverPlain = float64(r.ObsNsPerOp) / float64(r.PlainNsPerOp)
+	}
+	fmt.Fprintf(stderr, "obs bench: %s plain %d ns/op, instrumented %d ns/op (%.3fx)\n",
+		r.Measure, r.PlainNsPerOp, r.ObsNsPerOp, r.ObsOverPlain)
+	return r, nil
 }
 
 // scatterRows clones each arena row into its own heap allocation, in

@@ -63,10 +63,13 @@ func TestReportWireShapes(t *testing.T) {
 			"arena_ns_per_scan", "kernel", "scattered_ns_per_scan",
 			"scattered_over_arena",
 		}},
+		"ObsBenchResult": {ObsBenchResult{}, []string{
+			"measure", "obs_ns_per_op", "obs_over_plain", "plain_ns_per_op",
+		}},
 		"ScanBenchReport": {ScanBenchReport{}, []string{
 			"build_ns", "calibrate_ns", "eps", "index_build_ns", "layout",
-			"length", "measures", "queries", "samples", "seed", "series",
-			"tau", "workers",
+			"length", "measures", "obs", "queries", "samples", "seed",
+			"series", "tau", "workers",
 		}},
 		"ClusterMeasureResult": {ClusterMeasureResult{}, []string{
 			"cluster_ns_per_op", "completed_single",

@@ -54,7 +54,7 @@ func TestRepositoryIsClean(t *testing.T) {
 // TestSuiteIsComplete pins the analyzer roster so a refactor cannot
 // silently drop an invariant from the suite.
 func TestSuiteIsComplete(t *testing.T) {
-	want := []string{"arenawrite", "ctxpoll", "floatcmp", "intoalloc", "sentinelcmp"}
+	want := []string{"arenawrite", "ctxpoll", "floatcmp", "intoalloc", "metricname", "sentinelcmp"}
 	got := uncertlint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

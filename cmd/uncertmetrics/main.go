@@ -1,0 +1,88 @@
+// Command uncertmetrics scrapes a Prometheus text-exposition endpoint and
+// validates it: the document must parse cleanly (well-formed comments,
+// labels and histogram series), and every family named in -require must
+// be present. It is the CI smoke check that a serving process's /metrics
+// actually covers the layers it claims to.
+//
+// Usage:
+//
+//	uncertmetrics -url http://localhost:8080/metrics
+//	uncertmetrics -url http://localhost:8090/metrics \
+//	  -require uncertts_server_queries_total,uncertts_cluster_scatter_duration_seconds
+//
+// Exit status 0 means the endpoint parsed and every required family was
+// found; any failure prints the reason and exits 1. -list prints the
+// scraped family names (one per line) for debugging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"uncertts/internal/telemetry"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "metrics endpoint to scrape (required)")
+		require = flag.String("require", "", "comma-separated metric family names that must be present")
+		list    = flag.Bool("list", false, "print the scraped family names")
+		timeout = flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *url, *require, *list, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "uncertmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, url, require string, list bool, timeout time.Duration) error {
+	if url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s answered %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	families, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("%s: invalid exposition: %w", url, err)
+	}
+	if list {
+		names := make([]string, 0, len(families))
+		for name := range families {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintln(stdout, name)
+		}
+	}
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := families[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s is missing required families: %s", url, strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(stdout, "uncertmetrics: %s ok (%d families)\n", url, len(families))
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uncertts/internal/telemetry"
+)
+
+// registryEndpoint serves a fresh registry with a few live instruments —
+// the same handler a serving process mounts on /metrics.
+func registryEndpoint(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.NewCounter("uncertts_test_events_total", "Test events.").Inc()
+	reg.NewHistogram("uncertts_test_latency_seconds", "Test latency.", nil).Observe(0.004)
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunAcceptsValidEndpoint(t *testing.T) {
+	srv := registryEndpoint(t)
+	var out bytes.Buffer
+	err := run(&out, srv.URL, "uncertts_test_events_total,uncertts_test_latency_seconds", false, time.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("expected ok summary, got %q", out.String())
+	}
+}
+
+func TestRunReportsMissingFamilies(t *testing.T) {
+	srv := registryEndpoint(t)
+	err := run(&bytes.Buffer{}, srv.URL, "uncertts_test_events_total,uncertts_absent_total", false, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "uncertts_absent_total") {
+		t.Fatalf("want missing-family error naming uncertts_absent_total, got %v", err)
+	}
+}
+
+func TestRunRejectsInvalidExposition(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("this is not an exposition {\n"))
+	}))
+	defer srv.Close()
+	if err := run(&bytes.Buffer{}, srv.URL, "", false, time.Second); err == nil {
+		t.Fatal("want parse error for malformed exposition")
+	}
+}
+
+func TestRunRejectsNonOKStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if err := run(&bytes.Buffer{}, srv.URL, "", false, time.Second); err == nil {
+		t.Fatal("want error for non-200 endpoint")
+	}
+}
+
+func TestRunListsFamilies(t *testing.T) {
+	srv := registryEndpoint(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, "", true, time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "uncertts_test_events_total\n") {
+		t.Fatalf("want family listing, got %q", out.String())
+	}
+}
+
+func TestRunRequiresURL(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "", "", false, time.Second); err == nil {
+		t.Fatal("want error when -url is empty")
+	}
+}

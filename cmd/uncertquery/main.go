@@ -65,6 +65,7 @@ import (
 	"uncertts/internal/engine"
 	"uncertts/internal/server"
 	"uncertts/internal/store"
+	"uncertts/internal/telemetry"
 	"uncertts/internal/timeseries"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
@@ -395,8 +396,15 @@ func runFromServer(cfg config) {
 		fatal(err)
 	}
 	defer httpResp.Body.Close()
+	// The server minted (or adopted) a trace ID for this query and put it
+	// in the response header; surface it whenever the answer needs a
+	// follow-up look in the slow-query log or /debug/trace.
+	traceID := httpResp.Header.Get(telemetry.TraceHeader)
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		if traceID != "" {
+			fmt.Fprintf(os.Stderr, "trace id   : %s\n", traceID)
+		}
 		fatal(fmt.Errorf("%s/query answered %d: %s", cfg.serverURL, httpResp.StatusCode, strings.TrimSpace(string(msg))))
 	}
 	var resp cluster.Response
@@ -421,6 +429,9 @@ func runFromServer(cfg config) {
 		fmt.Printf("DEGRADED   : partial answer, %d shard(s) missing\n", len(resp.ShardErrors))
 		for _, se := range resp.ShardErrors {
 			fmt.Printf("  shard %-10s %-12s %s\n", se.Shard, se.Kind, se.Error)
+		}
+		if traceID != "" {
+			fmt.Printf("trace id   : %s\n", traceID)
 		}
 	}
 }

@@ -65,6 +65,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -77,6 +78,7 @@ import (
 	"uncertts/internal/munich"
 	"uncertts/internal/server"
 	"uncertts/internal/store"
+	"uncertts/internal/telemetry"
 	"uncertts/internal/ucr"
 	"uncertts/internal/uncertain"
 )
@@ -104,6 +106,9 @@ type config struct {
 	shards       int
 	coordinator  string
 	shardTimeout time.Duration
+
+	pprof     bool
+	slowQuery time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -130,6 +135,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 1, "partition the corpus over this many in-process shards behind a scatter-gather coordinator (1 = plain single-node serving)")
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "comma-separated shard base URLs; serve as a coordinator-only process over those remote shards")
 	fs.DurationVar(&cfg.shardTimeout, "shard-timeout", 0, "per-shard query deadline in cluster modes; a shard missing it degrades the answer (0 = none)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+	fs.DurationVar(&cfg.slowQuery, "slow-query", 0, "log any query slower than this threshold as a structured slow-query record, e.g. 200ms (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -162,6 +169,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.shardTimeout < 0 {
 		return cfg, fmt.Errorf("-shard-timeout = %v must be non-negative", cfg.shardTimeout)
+	}
+	if cfg.slowQuery < 0 {
+		return cfg, fmt.Errorf("-slow-query = %v must be non-negative", cfg.slowQuery)
 	}
 	if cfg.coordinator != "" {
 		if cfg.shards > 1 {
@@ -381,16 +391,35 @@ func buildHandler(cfg config) (http.Handler, []*store.Store, error) {
 	}
 }
 
+// withPprof mounts the net/http/pprof handlers in front of the serving
+// surface. Explicit routes (not the DefaultServeMux side effect of a
+// blank import) so the profiles exist only when -pprof asked for them.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
 func main() {
 	cfg, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(2)
 	}
+	telemetry.DefaultTracer().SetSlowThreshold(cfg.slowQuery)
 	handler, stores, err := buildHandler(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uncertserve:", err)
 		os.Exit(1)
+	}
+	if cfg.pprof {
+		handler = withPprof(handler)
+		log.Printf("uncertserve: pprof profiles on /debug/pprof/")
 	}
 	log.Printf("uncertserve: listening on %s", cfg.addr)
 

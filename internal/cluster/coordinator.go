@@ -11,6 +11,7 @@ import (
 	"uncertts/internal/engine"
 	"uncertts/internal/qerr"
 	"uncertts/internal/server"
+	"uncertts/internal/telemetry"
 )
 
 // Options configures a Coordinator.
@@ -28,6 +29,10 @@ type Options struct {
 	// the propagation gain through the exact production code path — leave
 	// it off when serving.
 	DisableBoundPropagation bool
+
+	// Tracer receives the coordinator's finished query traces (nil = the
+	// process-wide telemetry.DefaultTracer).
+	Tracer *telemetry.Tracer
 }
 
 // Coordinator scatters queries over a set of shards and gathers the
@@ -43,6 +48,7 @@ type Options struct {
 type Coordinator struct {
 	shards []Shard
 	opts   Options
+	tracer *telemetry.Tracer
 
 	// mu serializes mutations and guards the global ID allocator.
 	mu     sync.Mutex
@@ -52,7 +58,11 @@ type Coordinator struct {
 // New builds a coordinator over the shards. The shard order is part of
 // the cluster identity: ShardFor indexes into it.
 func New(shards []Shard, opts Options) *Coordinator {
-	return &Coordinator{shards: shards, opts: opts, nextID: -1}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = telemetry.DefaultTracer()
+	}
+	return &Coordinator{shards: shards, opts: opts, tracer: tracer, nextID: -1}
 }
 
 // Shards returns the shard set in cluster order.
@@ -135,6 +145,7 @@ func (c *Coordinator) Query(ctx context.Context, req server.QueryRequest) (*Resp
 		pbnd = engine.NewProbBound()
 	}
 
+	tr := telemetry.TraceFrom(ctx)
 	results := make([]*server.QueryResponse, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -157,7 +168,11 @@ func (c *Coordinator) Query(ctx context.Context, req server.QueryRequest) (*Resp
 			}
 			sctx, cancel := c.shardContext(ctx)
 			defer cancel()
+			sp := tr.Start("scatter:" + sh.Name())
+			start := time.Now()
 			res, err := sh.Query(sctx, sreq, sbnd, spbnd)
+			scatterDuration.With(sh.Name()).Observe(time.Since(start).Seconds())
+			sp.EndErr(err)
 			if err != nil {
 				errs[i] = classify(ctx, sh.Name(), err)
 				return
@@ -183,6 +198,7 @@ func (c *Coordinator) Query(ctx context.Context, req server.QueryRequest) (*Resp
 		if errors.Is(err, qerr.ErrShardTimeout) {
 			ekind = "timeout"
 		}
+		shardErrors.With(c.shards[i].Name(), ekind).Inc()
 		shardErrs = append(shardErrs, ShardErrorJSON{Shard: c.shards[i].Name(), Kind: ekind, Error: err.Error()})
 	}
 	answered := 0
@@ -200,12 +216,18 @@ func (c *Coordinator) Query(ctx context.Context, req server.QueryRequest) (*Resp
 		Degraded:      len(shardErrs) > 0,
 		ShardErrors:   shardErrs,
 	}
+	if out.Degraded {
+		degradedQueries.Inc()
+		tr.SetDegraded()
+	}
 	for _, r := range results {
 		if r != nil {
 			out.Epoch += r.Epoch
 		}
 	}
+	msp := tr.Start("merge")
 	c.merge(out, results, kind, req)
+	msp.End()
 	return out, nil
 }
 
@@ -467,15 +489,19 @@ type ShardHealthJSON struct {
 }
 
 // HealthResponse is the cluster-wide health picture: "ok" only when
-// every shard answered and reported ok.
+// every shard answered and reported ok. UptimeSeconds and Build describe
+// the coordinator process itself, not the shards (each shard's own
+// /healthz carries its own).
 type HealthResponse struct {
-	Status string            `json:"status"`
-	Shards []ShardHealthJSON `json:"shards"`
+	Status        string              `json:"status"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Build         telemetry.BuildJSON `json:"build"`
+	Shards        []ShardHealthJSON   `json:"shards"`
 }
 
 // Health probes every shard.
 func (c *Coordinator) Health(ctx context.Context) *HealthResponse {
-	out := &HealthResponse{Status: "ok"}
+	out := &HealthResponse{Status: "ok", UptimeSeconds: telemetry.Uptime().Seconds(), Build: telemetry.Build()}
 	for _, sh := range c.shards {
 		h, err := sh.Health(ctx)
 		if err != nil {

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 	"time"
 
+	"uncertts/internal/engine"
 	"uncertts/internal/qerr"
 	"uncertts/internal/server"
+	"uncertts/internal/telemetry"
 )
 
 // The coordinator's HTTP surface mirrors the single-node server's —
@@ -24,6 +27,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/series", c.handleSeries)
 	mux.HandleFunc("/stats", c.handleStats)
 	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.Handle("/metrics", telemetry.Handler())
+	mux.HandleFunc("/debug/trace", c.tracer.HandleDebugTrace)
 	return mux
 }
 
@@ -66,11 +71,27 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	}
 	defer cancel()
-	resp, err := c.Query(ctx, req)
+	// The coordinator mints the query's trace ID (or adopts the caller's)
+	// and hands it to every shard leg via the trace header; the ID travels
+	// back in the response header, never the JSON body.
+	tr := c.tracer.StartTrace(r.Header.Get(telemetry.TraceHeader), "cluster_scatter")
+	kname, mname := "invalid", "invalid"
+	if k, err := engine.ParseKind(req.Type); err == nil {
+		kname = k.String()
+	}
+	if m, err := engine.ParseMeasure(req.Measure); err == nil {
+		mname = strings.ToLower(m.String())
+	}
+	tr.SetQuery(kname, mname)
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	resp, err := c.Query(telemetry.WithTrace(ctx, tr), req)
 	if err != nil {
+		tr.Fail(err)
+		c.tracer.Finish(tr)
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
+	c.tracer.Finish(tr)
 	writeJSON(w, resp)
 }
 

@@ -19,6 +19,7 @@ import (
 	"uncertts/internal/engine"
 	"uncertts/internal/qerr"
 	"uncertts/internal/server"
+	"uncertts/internal/telemetry"
 )
 
 // ShardStatusError carries a shard's HTTP refusal (any non-2xx answer)
@@ -129,6 +130,9 @@ func (h *HTTPShard) Query(ctx context.Context, req server.QueryRequest, bnd *eng
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if id := telemetry.TraceFrom(ctx).ID(); id != "" {
+		hreq.Header.Set(telemetry.TraceHeader, id)
+	}
 	resp, err := h.client.Do(hreq)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -279,6 +283,9 @@ func (h *HTTPShard) pushBound(ctx context.Context, rec server.ClusterBoundJSON) 
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		boundPushes.Inc()
+	}
 }
 
 func (h *HTTPShard) Mutate(ctx context.Context, req server.SeriesRequest) (*server.SeriesResponse, error) {

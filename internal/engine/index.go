@@ -16,6 +16,7 @@ import (
 	"uncertts/internal/proud"
 	"uncertts/internal/query"
 	"uncertts/internal/sketch"
+	"uncertts/internal/telemetry"
 )
 
 // Indexed execution: instead of sharding the candidate space positionally,
@@ -427,10 +428,12 @@ type bucketPlan struct {
 // plan by the given order (best bucket first). Both steps run sharded: for
 // the cheap measures the O(queries x buckets x W) bound evaluation rivals
 // the whole indexed scan, so leaving it serial would squander the index.
-func (e *Engine) planBuckets(ctx context.Context, pqs []*PreparedQuery, bound func(pq *PreparedQuery, bk sketch.Bucket) float64, better func(a, b float64) bool) ([][]bucketPlan, error) {
+func (e *Engine) planBuckets(ctx context.Context, pqs []*PreparedQuery, bound func(pq *PreparedQuery, bk sketch.Bucket) float64, better func(a, b float64) bool) (plans [][]bucketPlan, err error) {
+	sp := telemetry.TraceFrom(ctx).Start("index_descent")
+	defer func() { sp.EndErr(err) }()
 	nb := len(e.idx.buckets)
 	flat := make([]bucketPlan, len(pqs)*nb)
-	err := core.RunShardedCtx(ctx, len(pqs)*nb, 0, e.workersFor(pqs), func(lo, hi int) error {
+	err = core.RunShardedCtx(ctx, len(pqs)*nb, 0, e.workersFor(pqs), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			flat[i] = bucketPlan{idx: i % nb, bound: bound(pqs[i/nb], e.idx.buckets[i%nb])}
 		}
@@ -439,7 +442,7 @@ func (e *Engine) planBuckets(ctx context.Context, pqs []*PreparedQuery, bound fu
 	if err != nil {
 		return nil, err
 	}
-	plans := make([][]bucketPlan, len(pqs))
+	plans = make([][]bucketPlan, len(pqs))
 	err = core.RunShardedCtx(ctx, len(pqs), 1, e.workersFor(pqs), func(lo, hi int) error {
 		for q := lo; q < hi; q++ {
 			pl := flat[q*nb : (q+1)*nb]
@@ -591,7 +594,9 @@ func (e *Engine) topKIndexed(ctx context.Context, pqs []*PreparedQuery, k int) (
 		return nil
 	}
 
+	seedSpan := telemetry.TraceFrom(ctx).Start("index_descent")
 	seeds := e.seedBuckets(pqs, k)
+	seedSpan.End()
 	err := core.RunShardedCtx(ctx, len(pqs), 1, e.workersFor(pqs), func(lo, hi int) error {
 		var scratch distance.DTWScratch
 		var t idxTally

@@ -9,6 +9,7 @@ import (
 
 	"uncertts/internal/qerr"
 	"uncertts/internal/query"
+	"uncertts/internal/telemetry"
 )
 
 // The declarative query surface. The four result shapes x resident/ad-hoc
@@ -285,6 +286,9 @@ func (e *Engine) RunStream(ctx context.Context, req Request, emit func(Item) err
 	}
 
 	res := &Result{Kind: req.Kind}
+	// The refine span covers the whole execution core — index descent spans
+	// nest inside it when the indexed path runs.
+	refineSpan := telemetry.TraceFrom(ctx).Start("refine")
 	switch req.Kind {
 	case KindTopK:
 		var out [][]query.Neighbor
@@ -343,6 +347,8 @@ func (e *Engine) RunStream(ctx context.Context, req Request, emit func(Item) err
 			res.Matches = window(res.Matches, req.Offset, req.Limit)
 		}
 	}
+	refineSpan.EndErr(err)
+	recordStatsMetrics(e.opts.Measure, e.Stats())
 	if err != nil {
 		// Normalise cancellations so the caller always sees both the
 		// qerr sentinel and the context's own error, wherever in the

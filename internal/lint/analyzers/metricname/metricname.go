@@ -1,0 +1,91 @@
+// Package metricname enforces the telemetry registry's naming contract at
+// build time. Every metric registered through the telemetry New*
+// constructors must be named by a string literal — so the full metric
+// inventory is greppable — and the literal must be snake_case with a unit
+// suffix (_total, _seconds, _bytes or _ratio), the exact rule the registry
+// enforces with a panic at registration. The analyzer turns that runtime
+// panic into a diagnostic on the offending call.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"uncertts/internal/lint/analysis"
+	"uncertts/internal/telemetry"
+)
+
+// telemetryPkg is the package whose constructors the analyzer watches.
+const telemetryPkg = "uncertts/internal/telemetry"
+
+// constructors are the registration entry points, both the package-level
+// functions and the *Registry methods (they share names).
+var constructors = map[string]bool{
+	"NewCounter":      true,
+	"NewCounterVec":   true,
+	"NewGauge":        true,
+	"NewGaugeVec":     true,
+	"NewGaugeFunc":    true,
+	"NewHistogram":    true,
+	"NewHistogramVec": true,
+}
+
+// Analyzer flags telemetry metric registrations whose name is not a valid
+// literal.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "flags telemetry New* registrations whose metric name is not a snake_case string literal with a unit suffix (_total, _seconds, _bytes, _ratio)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The telemetry package itself builds names generically (the registry
+	// internals and its own tests exercise invalid names on purpose).
+	if pass.Pkg.Path() == telemetryPkg {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := constructorName(pass, call)
+			if name == "" || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "telemetry.%s name must be a string literal so the metric inventory stays greppable", name)
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !telemetry.ValidMetricName(val) {
+				pass.Reportf(lit.Pos(), "metric name %q breaks the naming contract: snake_case starting with a letter, ending in _total, _seconds, _bytes or _ratio", val)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// constructorName returns the telemetry constructor a call resolves to,
+// or "" when the callee is anything else.
+func constructorName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != telemetryPkg {
+		return ""
+	}
+	if !constructors[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"uncertts/internal/lint/analysistest"
+	"uncertts/internal/lint/analyzers/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer, "a")
+}

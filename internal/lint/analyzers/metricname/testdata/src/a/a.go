@@ -1,0 +1,39 @@
+// Package a seeds metric-naming violations for the metricname analyzer's
+// analysistest run.
+package a
+
+import (
+	"uncertts/internal/telemetry"
+)
+
+var dynamicName = "uncertts_runtime_built_total"
+
+var (
+	_ = telemetry.NewCounter("uncertts_good_events_total", "Fine: snake_case with a unit suffix.")
+	_ = telemetry.NewGauge("uncertts_good_pending_bytes", "Fine: bytes unit.")
+	_ = telemetry.NewHistogram("uncertts_good_latency_seconds", "Fine: seconds unit.", nil)
+	_ = telemetry.NewCounterVec("uncertts_good_errors_total", "Fine: vec variant.", "kind")
+	_ = telemetry.NewGaugeVec("uncertts_good_fill_ratio", "Fine: ratio unit.", "shard")
+
+	_ = telemetry.NewCounter("uncertts_missing_suffix", "No unit suffix.")                        // want `metric name "uncertts_missing_suffix" breaks the naming contract`
+	_ = telemetry.NewGauge("UncertTSCamelCase_total", "Not snake_case.")                          // want `metric name "UncertTSCamelCase_total" breaks the naming contract`
+	_ = telemetry.NewHistogram("uncertts_bad-dash_seconds", "Dash is not allowed.", nil)          // want `metric name "uncertts_bad-dash_seconds" breaks the naming contract`
+	_ = telemetry.NewCounter(dynamicName, "Computed names hide the inventory.")                   // want `telemetry\.NewCounter name must be a string literal`
+	_ = telemetry.NewCounterVec("uncertts_"+"concat_total", "Concatenation is not a literal.")    // want `telemetry\.NewCounterVec name must be a string literal`
+	_ = telemetry.NewGaugeFunc("9starts_with_digit_total", "Must start with a letter.", zero)     // want `metric name "9starts_with_digit_total" breaks the naming contract`
+	_ = telemetry.NewHistogramVec("uncertts_caught_elsewhere", "Vec form, no suffix.", nil, "xs") // want `metric name "uncertts_caught_elsewhere" breaks the naming contract`
+)
+
+func zero() float64 { return 0 }
+
+// registryMethods proves the *Registry methods are watched exactly like
+// the package-level constructors.
+func registryMethods(reg *telemetry.Registry) {
+	reg.NewCounter("uncertts_method_events_total", "Fine.")
+	reg.NewGauge("uncertts_method_no_suffix", "Method form, bad name.") // want `metric name "uncertts_method_no_suffix" breaks the naming contract`
+}
+
+func suppressed() {
+	//lint:allow metricname proving the suppression path for the test harness
+	_ = telemetry.NewCounter("uncertts_suppressed_name", "Would otherwise be flagged.")
+}

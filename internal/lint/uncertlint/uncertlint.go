@@ -10,6 +10,7 @@ import (
 	"uncertts/internal/lint/analyzers/ctxpoll"
 	"uncertts/internal/lint/analyzers/floatcmp"
 	"uncertts/internal/lint/analyzers/intoalloc"
+	"uncertts/internal/lint/analyzers/metricname"
 	"uncertts/internal/lint/analyzers/sentinelcmp"
 )
 
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		ctxpoll.Analyzer,
 		floatcmp.Analyzer,
 		intoalloc.Analyzer,
+		metricname.Analyzer,
 		sentinelcmp.Analyzer,
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"uncertts/internal/engine"
+	"uncertts/internal/telemetry"
 )
 
 // The shard-side cluster surface. A server doubles as one shard of a
@@ -128,8 +129,12 @@ func (r *boundRegistry) lookup(token string) *boundPair {
 // coordinate through bnd/pbnd (when non-nil) instead of a private bound.
 // In-process cluster shards answer through it — every shard's engine
 // lowers and reads the same atomic, so propagation needs no transport.
-func (s *Server) RunBound(ctx context.Context, req QueryRequest, bnd *engine.Bound, pbnd *engine.ProbBound) (*QueryResponse, error) {
+func (s *Server) RunBound(ctx context.Context, req QueryRequest, bnd *engine.Bound, pbnd *engine.ProbBound) (resp *QueryResponse, err error) {
+	done := track(req)
+	defer func() { done(err) }()
+	sp := telemetry.TraceFrom(ctx).Start("parse")
 	e, snap, ereq, err := s.plan(req)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +170,25 @@ func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r.Context(), req.QueryRequest)
 	defer cancel()
+	// Adopt the coordinator's trace ID from the request header: the shard's
+	// own ring then holds this query's spans under the same ID the
+	// coordinator (and the client) quote, so one ID pulls the full
+	// cross-shard picture from every /debug/trace it touched.
+	tr := s.tracer.StartTrace(r.Header.Get(telemetry.TraceHeader), "cluster_query")
+	tr.SetQuery(queryLabels(req.QueryRequest))
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	ctx = telemetry.WithTrace(ctx, tr)
+	done := track(req.QueryRequest)
+	finish := func(err error) {
+		done(err)
+		tr.Fail(err)
+		s.tracer.Finish(tr)
+	}
+	sp := telemetry.TraceFrom(ctx).Start("parse")
 	e, snap, ereq, err := s.plan(req.QueryRequest)
+	sp.EndErr(err)
 	if err != nil {
+		finish(err)
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
@@ -251,6 +273,7 @@ func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 	_, err = e.RunStream(ctx, ereq, emit)
 	close(pollDone)
 	pollWG.Wait()
+	finish(err)
 	if err != nil {
 		if streamed == 0 {
 			http.Error(w, err.Error(), statusFor(err))

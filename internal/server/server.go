@@ -50,6 +50,7 @@ import (
 	"uncertts/internal/qerr"
 	"uncertts/internal/stats"
 	"uncertts/internal/store"
+	"uncertts/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -75,6 +76,10 @@ type Options struct {
 	// /healthz then reports WAL and checkpoint state, and POST
 	// /admin/checkpoint triggers a checkpoint + WAL compaction on demand.
 	Store *store.Store
+	// Tracer receives this server's finished query traces (nil = the
+	// process-wide telemetry.DefaultTracer). Tests inject their own to
+	// observe spans without the shared ring.
+	Tracer *telemetry.Tracer
 }
 
 // Server serves similarity queries over a corpus. It is safe for
@@ -89,6 +94,10 @@ type Server struct {
 	// bounds tracks the shared pruning cuts of running cluster queries,
 	// keyed by the coordinator's bound token (see cluster.go).
 	bounds boundRegistry
+
+	// tracer collects finished query traces for /debug/trace and the
+	// slow-query log.
+	tracer *telemetry.Tracer
 }
 
 // measureEngines tracks one measure's engine across corpus epochs. The
@@ -111,10 +120,15 @@ func New(c *corpus.Corpus, opts Options) *Server {
 	if opts.MaxWorkers <= 0 {
 		opts.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = telemetry.DefaultTracer()
+	}
 	return &Server{
 		c:       c,
 		opts:    opts,
 		engines: make(map[engine.Measure]*measureEngines),
+		tracer:  tracer,
 	}
 }
 
@@ -130,6 +144,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", telemetry.Handler())
+	mux.HandleFunc("/debug/trace", s.tracer.HandleDebugTrace)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/cluster/query", s.handleClusterQuery)
 	mux.HandleFunc("/cluster/bound", s.handleClusterBound)
@@ -335,7 +351,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// connection stops its query; timeout_ms adds the server-side bound.
 	ctx, cancel := s.queryContext(r.Context(), req)
 	defer cancel()
-	resp, err := s.Run(ctx, req)
+	// The trace ID travels in a response header, never the JSON body — the
+	// /query answer stays bit-identical whether or not anyone is tracing.
+	tr := s.tracer.StartTrace(r.Header.Get(telemetry.TraceHeader), "query")
+	tr.SetQuery(queryLabels(req))
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	resp, err := s.Run(telemetry.WithTrace(ctx, tr), req)
+	tr.Fail(err)
+	s.tracer.Finish(tr)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -412,8 +435,12 @@ func (s *Server) plan(req QueryRequest) (*engine.Engine, *corpus.Snapshot, engin
 // It is exported so in-process callers (tests, embedding applications)
 // can skip HTTP; cancellation and deadline semantics are exactly those of
 // engine.Run.
-func (s *Server) Run(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+func (s *Server) Run(ctx context.Context, req QueryRequest) (resp *QueryResponse, err error) {
+	done := track(req)
+	defer func() { done(err) }()
+	sp := telemetry.TraceFrom(ctx).Start("parse")
 	e, snap, ereq, err := s.plan(req)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -500,8 +527,21 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r.Context(), req)
 	defer cancel()
+	tr := s.tracer.StartTrace(r.Header.Get(telemetry.TraceHeader), "query_stream")
+	tr.SetQuery(queryLabels(req))
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	ctx = telemetry.WithTrace(ctx, tr)
+	done := track(req)
+	finish := func(err error) {
+		done(err)
+		tr.Fail(err)
+		s.tracer.Finish(tr)
+	}
+	sp := telemetry.TraceFrom(ctx).Start("parse")
 	e, snap, ereq, err := s.plan(req)
+	sp.EndErr(err)
 	if err != nil {
+		finish(err)
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
@@ -531,6 +571,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 	if _, err := e.RunStream(ctx, ereq, emit); err != nil {
+		finish(err)
 		if streamed == 0 {
 			http.Error(w, err.Error(), statusFor(err))
 			return
@@ -538,6 +579,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(map[string]string{"error": err.Error()})
 		return
 	}
+	finish(nil)
 	_ = enc.Encode(StreamDoneJSON{
 		Done:    true,
 		Measure: ereq.Measure.String(),
@@ -732,6 +774,10 @@ type HealthResponse struct {
 	Series int `json:"series"`
 	// Durable reports whether a store is attached.
 	Durable bool `json:"durable"`
+	// UptimeSeconds is the time since this process started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies the running binary (module version, VCS revision).
+	Build telemetry.BuildJSON `json:"build"`
 	// Store is the attached store's status (absent when not durable).
 	Store *store.Status `json:"store,omitempty"`
 }
@@ -748,9 +794,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Health() *HealthResponse {
 	snap := s.c.Snapshot()
 	resp := &HealthResponse{
-		Status: "ok",
-		Epoch:  snap.Epoch(),
-		Series: snap.Len(),
+		Status:        "ok",
+		Epoch:         snap.Epoch(),
+		Series:        snap.Len(),
+		UptimeSeconds: telemetry.Uptime().Seconds(),
+		Build:         telemetry.Build(),
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Status()

@@ -1,0 +1,23 @@
+package store
+
+import "uncertts/internal/telemetry"
+
+// The store's metric families: WAL volume and the two durability
+// latencies operators watch — how long an fsync stalls the write path and
+// how long checkpoints run.
+var (
+	walAppendedBytes = telemetry.NewCounter(
+		"uncertts_store_wal_appended_bytes_total",
+		"WAL bytes appended since the process started (headers included).")
+	walPendingBytes = telemetry.NewGauge(
+		"uncertts_store_wal_pending_bytes",
+		"WAL bytes a recovery right now would replay (appended past the last checkpoint).")
+	fsyncDuration = telemetry.NewHistogram(
+		"uncertts_store_fsync_duration_seconds",
+		"WAL fsync latency (both the always-policy in-line syncs and the interval syncs).",
+		nil)
+	checkpointDuration = telemetry.NewHistogram(
+		"uncertts_store_checkpoint_duration_seconds",
+		"Checkpoint latency: barrier snapshot, serialization and WAL compaction.",
+		nil)
+)

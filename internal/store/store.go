@@ -261,12 +261,16 @@ func (s *Store) append(m corpus.Mutation) error {
 		return err
 	}
 	if s.opts.Sync == SyncAlways {
+		start := time.Now()
 		if err := s.w.sync(); err != nil {
 			s.failed = err
 			return err
 		}
+		fsyncDuration.Observe(time.Since(start).Seconds())
 	}
 	s.walBytes += int64(recHeaderLen + len(payload))
+	walAppendedBytes.Add(int64(recHeaderLen + len(payload)))
+	walPendingBytes.Set(float64(s.walBytes - s.ckptMark))
 	if s.opts.CheckpointBytes > 0 && s.walBytes-s.ckptMark > s.opts.CheckpointBytes && !s.ckptPending {
 		s.ckptPending = true
 		select {
@@ -325,10 +329,12 @@ func (s *Store) Sync() error {
 	if s.failed != nil {
 		return s.failed
 	}
+	start := time.Now()
 	if err := s.w.sync(); err != nil {
 		s.failed = err
 		return err
 	}
+	fsyncDuration.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -341,6 +347,7 @@ func (s *Store) Sync() error {
 func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	ckptStart := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
@@ -377,9 +384,14 @@ func (s *Store) Checkpoint() error {
 		s.ckptMark = mark
 	}
 	s.lastCkptEpoch = snap.Epoch()
+	walPendingBytes.Set(float64(s.walBytes - s.ckptMark))
 	s.mu.Unlock()
 
-	return s.compact(doneSeq, snap.Epoch())
+	if err := s.compact(doneSeq, snap.Epoch()); err != nil {
+		return err
+	}
+	checkpointDuration.Observe(time.Since(ckptStart).Seconds())
+	return nil
 }
 
 // compact deletes WAL segments older than the latest checkpoint's

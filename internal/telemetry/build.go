@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// processStart anchors the uptime reported by /healthz and the
+// uncertts_uptime_seconds gauge.
+var processStart = time.Now()
+
+// uptimeGauge exposes uptime on /metrics; /healthz reports the same value
+// as uptime_seconds so deploy age is visible from either surface.
+var _ = NewGaugeFunc("uncertts_uptime_seconds", "Seconds since the process started.", func() float64 {
+	return Uptime().Seconds()
+})
+
+// Uptime returns the time since the process started.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// BuildJSON identifies the running binary: the main module version and
+// the VCS revision baked in by the Go toolchain. Fields are empty when
+// the binary was built without module/VCS metadata (e.g. go test).
+type BuildJSON struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildJSON
+)
+
+// Build returns the binary's build identity, read once from
+// debug.ReadBuildInfo.
+func Build() BuildJSON {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

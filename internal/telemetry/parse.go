@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The exposition parser: enough of the Prometheus text format to lint a
+// scrape in CI (cmd/uncertmetrics) and to round-trip the registry in
+// tests. It validates structure — HELP/TYPE comments, sample naming,
+// label syntax, numeric values, histogram completeness — not semantics.
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary or untyped
+	Samples []Sample
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's own name (for histograms: the family name plus
+	// _bucket, _sum or _count).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	sampleNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*`)
+)
+
+// ParseExposition parses a Prometheus text exposition stream into its
+// families, keyed by family name. Any structural violation is an error:
+// a sample under no (or the wrong) family's TYPE comment, malformed
+// labels, a non-numeric value, or a typed histogram missing its +Inf
+// bucket, _sum or _count.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	out := make(map[string]*Family)
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fam, err := parseComment(out, line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if fam != nil {
+				cur = fam
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(out, cur, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range out {
+		if err := validateFamily(fam); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments are
+// ignored), returning the family a TYPE line opens.
+func parseComment(out map[string]*Family, line string) (*Family, error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil, nil // free-form comment
+	}
+	name := fields[2]
+	if sampleNameRE.FindString(name) != name {
+		return nil, fmt.Errorf("invalid metric name %q in %s comment", name, fields[1])
+	}
+	fam := out[name]
+	if fam == nil {
+		fam = &Family{Name: name, Type: "untyped"}
+		out[name] = fam
+	}
+	if fields[1] == "HELP" {
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+		return nil, nil
+	}
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("TYPE comment for %s carries no type", name)
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		fam.Type = fields[3]
+	default:
+		return nil, fmt.Errorf("unknown TYPE %q for %s", fields[3], name)
+	}
+	return fam, nil
+}
+
+// familyFor resolves which family a sample belongs to: its own name, or —
+// for histogram series — the current family when the sample is one of its
+// _bucket/_sum/_count children.
+func familyFor(out map[string]*Family, cur *Family, sampleName string) *Family {
+	if fam := out[sampleName]; fam != nil {
+		return fam
+	}
+	if cur != nil && cur.Type == "histogram" {
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(sampleName, "_bucket"), "_sum"), "_count")
+		if base == cur.Name && base != sampleName {
+			return cur
+		}
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Sample, error) {
+	name := sampleNameRE.FindString(line)
+	if name == "" {
+		return Sample{}, fmt.Errorf("malformed sample line %q", line)
+	}
+	rest := line[len(name):]
+	s := Sample{Name: name}
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return Sample{}, fmt.Errorf("sample %s: %w", name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is permitted by the format; we accept and drop it.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %s: value %q is not a number", name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {a="x",b="y"} block, returning the remainder of
+// the line.
+func parseLabels(in string) (map[string]string, string, error) {
+	out := make(map[string]string)
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return out, rest[1:], nil
+		}
+		name := labelNameRE.FindString(rest)
+		if name == "" {
+			return nil, "", fmt.Errorf("malformed label block near %q", rest)
+		}
+		rest = rest[len(name):]
+		if !strings.HasPrefix(rest, `="`) {
+			return nil, "", fmt.Errorf("label %s is missing a quoted value", name)
+		}
+		rest = rest[2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				default:
+					return nil, "", fmt.Errorf("label %s: unknown escape \\%c", name, rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, "", fmt.Errorf("label %s: unterminated value", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, "", fmt.Errorf("label %s repeated", name)
+		}
+		out[name] = val.String()
+		rest = rest[i+1:]
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// validateFamily checks per-family invariants; today that is histogram
+// completeness (+Inf bucket, _sum, _count per label set).
+func validateFamily(fam *Family) error {
+	if fam.Type != "histogram" {
+		return nil
+	}
+	type hs struct{ inf, sum, count bool }
+	groups := make(map[string]*hs)
+	groupOf := func(labels map[string]string) *hs {
+		keys := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k+"="+v)
+		}
+		sort.Strings(keys)
+		key := strings.Join(keys, ",")
+		g := groups[key]
+		if g == nil {
+			g = &hs{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		g := groupOf(s.Labels)
+		switch {
+		case s.Name == fam.Name+"_bucket":
+			if s.Labels["le"] == "+Inf" {
+				g.inf = true
+			}
+		case s.Name == fam.Name+"_sum":
+			g.sum = true
+		case s.Name == fam.Name+"_count":
+			g.count = true
+		}
+	}
+	// No groups is legal: a labelled histogram family exposes only its
+	// HELP/TYPE header until the first child is observed.
+	for key, g := range groups {
+		if !g.inf || !g.sum || !g.count {
+			return fmt.Errorf("histogram %s{%s} is incomplete (needs an +Inf bucket, _sum and _count)", fam.Name, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionAccepts(t *testing.T) {
+	in := `# HELP a_total count
+# TYPE a_total counter
+a_total 5
+# HELP b_seconds latency
+# TYPE b_seconds histogram
+b_seconds_bucket{kind="topk",le="0.1"} 1
+b_seconds_bucket{kind="topk",le="+Inf"} 2
+b_seconds_sum{kind="topk"} 0.3
+b_seconds_count{kind="topk"} 2
+# TYPE c_ratio gauge
+c_ratio 0.5
+`
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if fams["a_total"].Type != "counter" || fams["a_total"].Samples[0].Value != 5 {
+		t.Fatalf("a_total mismatch: %+v", fams["a_total"])
+	}
+	if got := len(fams["b_seconds"].Samples); got != 4 {
+		t.Fatalf("b_seconds has %d samples, want 4", got)
+	}
+	if fams["b_seconds"].Samples[0].Labels["kind"] != "topk" {
+		t.Fatalf("labels mismatch: %+v", fams["b_seconds"].Samples[0])
+	}
+}
+
+func TestParseExpositionEscapes(t *testing.T) {
+	in := "# TYPE a_total counter\n" +
+		`a_total{msg="line\nbreak \"q\" back\\slash"} 1` + "\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fams["a_total"].Samples[0].Labels["msg"]
+	if got != "line\nbreak \"q\" back\\slash" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"orphan sample":      "a_total 5\n",
+		"bad value":          "# TYPE a_total counter\na_total five\n",
+		"unterminated label": "# TYPE a_total counter\na_total{x=\"y 1\n",
+		"repeated label":     "# TYPE a_total counter\na_total{x=\"1\",x=\"2\"} 1\n",
+		"unknown TYPE":       "# TYPE a_total matrix\na_total 1\n",
+		"histogram w/o +Inf": "# TYPE b_seconds histogram\nb_seconds_bucket{le=\"1\"} 1\nb_seconds_sum 1\nb_seconds_count 1\n",
+		"histogram w/o sum":  "# TYPE b_seconds histogram\nb_seconds_bucket{le=\"+Inf\"} 1\nb_seconds_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("rt_q_total", "q", "kind").With("topk").Inc()
+	r.NewGauge("rt_depth_ratio", "d").Set(1.5)
+	r.NewHistogram("rt_lat_seconds", "l", []float64{0.5}).Observe(0.1)
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("our own exposition does not parse: %v\n%s", err, b.String())
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3: %v", len(fams), b.String())
+	}
+}
